@@ -1,0 +1,167 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper table; quantifies the contribution of the pieces the
+paper argues for:
+
+1. interaction features on/off (Table 4 suggests they are crucial);
+2. temporal AVG/LAG features on/off;
+3. first-stage reduction: RF filter vs PCA;
+4. prediction threshold 0.4 vs 0.5 (the FN-averse operating point);
+5. OR vs majority aggregation over instances (section 4.2.3);
+6. lag tolerance k in the evaluation metric.
+"""
+
+import numpy as np
+
+from repro.core.aggregation import aggregate_majority, aggregate_or
+from repro.core.evaluation import lagged_confusion
+from repro.core.features.pipeline import PipelineConfig
+from repro.core.model import MonitorlessModel
+
+from conftest import N_TREES, SEED
+
+
+def _train(corpus, config, threshold=0.4):
+    model = MonitorlessModel(
+        pipeline_config=config,
+        prediction_threshold=threshold,
+        classifier_params={"n_estimators": max(20, N_TREES // 2)},
+        random_state=SEED,
+    )
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    return model
+
+
+def _score_on_elgg(model, elgg, k=2):
+    predictions = aggregate_or(elgg.instance_predictions(model))
+    return lagged_confusion(elgg.y_true, predictions, k=k)
+
+
+ABLATION_CONFIGS = [
+    ("paper (filter/time+mult/filter)", PipelineConfig()),
+    ("no interactions", PipelineConfig(interactions=False)),
+    ("no temporal", PipelineConfig(temporal=False)),
+    (
+        "no interactions, no temporal",
+        PipelineConfig(interactions=False, temporal=False, reduction2=None),
+    ),
+    (
+        "PCA first stage",
+        PipelineConfig(reduction1="pca", interactions=False),
+    ),
+]
+
+
+def test_ablation_pipeline_stages(benchmark, corpus, elgg, table_printer):
+    rows = []
+    scores = {}
+    for name, config in ABLATION_CONFIGS:
+        model = _train(corpus, config)
+        confusion = _score_on_elgg(model, elgg)
+        scores[name] = confusion.f1
+        rows.append(
+            {
+                "pipeline": name,
+                "features": model.n_engineered_features_,
+                "F1_2": round(confusion.f1, 3),
+                "Acc_2": round(confusion.accuracy, 3),
+                "FN_2": confusion.fn,
+            }
+        )
+    table_printer("Ablation: feature-pipeline stages", rows)
+
+    # The full pipeline must be competitive with every ablation.
+    best = max(scores.values())
+    assert scores["paper (filter/time+mult/filter)"] > best - 0.1
+
+    benchmark.pedantic(
+        lambda: _train(corpus, PipelineConfig(temporal=False, interactions=False,
+                                              reduction2=None)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_prediction_threshold(benchmark, corpus, model, elgg, table_printer):
+    """Threshold 0.4 (paper) vs neutral 0.5 vs conservative 0.6."""
+    rows = []
+    fn_by_threshold = {}
+    base_proba = {
+        name: series
+        for name, series in _instance_probabilities(model, elgg).items()
+    }
+    for threshold in (0.3, 0.4, 0.5, 0.6):
+        per_instance = [
+            (proba >= threshold).astype(np.int64) for proba in base_proba.values()
+        ]
+        confusion = lagged_confusion(
+            elgg.y_true, aggregate_or(per_instance), k=2
+        )
+        fn_by_threshold[threshold] = confusion.fn
+        rows.append(
+            {
+                "threshold": threshold,
+                "F1_2": round(confusion.f1, 3),
+                "FP_2": confusion.fp,
+                "FN_2": confusion.fn,
+            }
+        )
+    table_printer("Ablation: prediction threshold", rows)
+    # Lower thresholds can only reduce (or keep) false negatives.
+    assert fn_by_threshold[0.3] <= fn_by_threshold[0.6]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _instance_probabilities(model, scenario):
+    meta = scenario.agent.catalog.feature_meta()
+    return {
+        container.name: model.predict_proba(
+            scenario.agent.instance_matrix(container, scenario.result.nodes), meta
+        )
+        for container in scenario.containers()
+    }
+
+
+def test_ablation_aggregation_rule(benchmark, model, multitenant, table_printer):
+    """OR vs majority aggregation on the 14-service Sockshop
+    (section 4.2.3: OR inflates FPs as services multiply)."""
+    from repro.datasets.experiments import sockshop_windows
+
+    _, sockshop = multitenant
+    windows = sockshop_windows(len(sockshop.workload))
+    per_instance = list(sockshop.instance_predictions(model).values())
+    y_true = sockshop.y_true[windows]
+
+    rows = []
+    confusions = {}
+    for name, aggregator in (("OR", aggregate_or), ("majority", aggregate_majority)):
+        prediction = aggregator(per_instance)[windows]
+        confusion = lagged_confusion(y_true, prediction, k=2)
+        confusions[name] = confusion
+        rows.append(
+            {
+                "aggregation": name,
+                "F1_2": round(confusion.f1, 3),
+                "FP_2": confusion.fp,
+                "FN_2": confusion.fn,
+            }
+        )
+    table_printer("Ablation: instance aggregation (Sockshop)", rows)
+    # OR catches at least as many saturation events as majority.
+    assert confusions["OR"].fn <= confusions["majority"].fn
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_lag_tolerance(benchmark, model, elgg, table_printer):
+    """F1_k as a function of the metric's lag tolerance k."""
+    prediction = aggregate_or(elgg.instance_predictions(model))
+    rows = []
+    f1_values = []
+    for k in (0, 1, 2, 3):
+        confusion = lagged_confusion(elgg.y_true, prediction, k=k)
+        f1_values.append(confusion.f1)
+        rows.append({"k": k, "F1_k": round(confusion.f1, 3),
+                     "Acc_k": round(confusion.accuracy, 3)})
+    table_printer("Ablation: lag tolerance k", rows)
+    assert all(b >= a - 1e-12 for a, b in zip(f1_values, f1_values[1:]))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""Table 3: the six classifiers -- training time, per-sample
+classification time, and F1_2 on the first validation set.
+
+As in the paper, every classifier trains on the engineered Table-1
+corpus and is scored on the Elgg three-tier *validation* application
+(that is why the paper's majority-label classifiers still reach
+F1 = 0.858: the Elgg set is ~75% saturated).  Expected shape:
+random forest best, XGBoost second, the linear models and the neural
+network collapse toward the majority label, linear SVC worst.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate_or
+from repro.core.evaluation import lagged_confusion
+from repro.core.model import make_classifier
+
+# (paper name, factory name, bench-scale overrides)
+ALGORITHMS = [
+    ("SVC", "svc", {"max_iter": 8}),
+    ("Logistic Regression", "logistic_regression", {"max_iter": 5}),
+    ("AdaBoost", "adaboost", {"n_estimators": 15}),
+    ("Neural Net", "neural_net", {"epochs": 15}),
+    ("XGBoost", "xgboost", {"n_estimators": 25, "max_depth": 6}),
+    ("Random Forest", "random_forest", {"n_estimators": 60}),
+]
+
+
+@pytest.fixture(scope="module")
+def validation_features(engineered, elgg):
+    """Per-instance engineered features of the Elgg validation set."""
+    pipeline, _, _ = engineered
+    meta = elgg.agent.catalog.feature_meta()
+    features = []
+    for container in elgg.containers():
+        matrix = elgg.agent.instance_matrix(container, elgg.result.nodes)
+        transformed, _ = pipeline.transform(matrix, meta)
+        features.append(transformed)
+    return features
+
+
+def test_table3_classifier_comparison(
+    benchmark, corpus, engineered, elgg, validation_features, table_printer
+):
+    _, X_train, _ = engineered
+    y_train = corpus.y
+
+    rows = []
+    scores = {}
+    for paper_name, factory, overrides in ALGORITHMS:
+        classifier = make_classifier(factory, random_state=0, **overrides)
+        start = time.perf_counter()
+        classifier.fit(X_train, y_train)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        per_instance = [classifier.predict(f) for f in validation_features]
+        predict_seconds = time.perf_counter() - start
+        n_predictions = sum(len(f) for f in validation_features)
+
+        aggregated = aggregate_or(
+            [np.asarray(p).astype(np.int64) for p in per_instance]
+        )
+        confusion = lagged_confusion(elgg.y_true, aggregated, k=2)
+        scores[paper_name] = confusion.f1
+        rows.append(
+            {
+                "algorithm": paper_name,
+                "training_time": f"{train_seconds:.1f} s",
+                "class_time": f"{1e3 * predict_seconds / n_predictions:.3f} ms",
+                "F1_2": round(confusion.f1, 3),
+            }
+        )
+    table_printer("Table 3: classifier comparison (validated on Elgg)", rows)
+    majority_f1 = lagged_confusion(
+        elgg.y_true, np.ones_like(elgg.y_true), k=2
+    ).f1
+    print(f"majority-label (always saturated) F1_2 = {majority_f1:.3f}")
+
+    # Shape assertions (paper: RF 0.997 > XGB 0.944 >> linear ~ majority).
+    # RF and XGBoost can tie near the ceiling; RF must be at (or within
+    # noise of) the top and strong in absolute terms.
+    assert scores["Random Forest"] >= max(scores.values()) - 0.01
+    assert scores["Random Forest"] > 0.9
+    assert scores["XGBoost"] > scores["Logistic Regression"] - 0.05
+
+    # Benchmark target: the winning model family's training.
+    benchmark.pedantic(
+        lambda: make_classifier(
+            "random_forest", random_state=0, n_estimators=20
+        ).fit(X_train[:2000], y_train[:2000]),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Table 4: the top-30 features by random-forest importance.
+
+The paper's observation: nearly all top features are *multiplicative*
+combinations, mostly CPU-level metrics crossed with network/memory
+metrics (e.g. ``network.tcp.currestab x C-CPU-HIGH``), plus a few
+averaged/lagged binary CPU levels; raw un-engineered metrics barely
+appear.
+"""
+
+
+def test_table4_feature_importances(benchmark, model, table_printer):
+    top30 = benchmark.pedantic(
+        lambda: model.feature_importances(top=30), rounds=1, iterations=1
+    )
+
+    rows = [
+        {"rank": rank + 1, "feature": name, "importance": f"{weight:.4f}"}
+        for rank, (name, weight) in enumerate(top30)
+    ]
+    table_printer("Table 4: top-30 features by RF importance", rows)
+
+    names = [name for name, _ in top30]
+    interaction_share = sum(" x " in name for name in names) / len(names)
+    temporal_share = sum(
+        ("-AVG" in name or "-LAGGED" in name) for name in names
+    ) / len(names)
+    cpu_level_share = sum("C-CPU" in name for name in names) / len(names)
+    print(
+        f"interaction features: {interaction_share:.0%}, "
+        f"temporal: {temporal_share:.0%}, C-CPU-derived: {cpu_level_share:.0%}"
+    )
+
+    # Shape: engineered (interaction) features dominate the table.
+    assert interaction_share >= 0.4
+    assert any("C-CPU" in name for name in names)

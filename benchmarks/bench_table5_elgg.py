@@ -1,0 +1,24 @@
+"""Table 5: the three-tier Elgg web application.
+
+Expected shape (paper): everything scores high because the front-end
+is plainly CPU-bound -- CPU best (F1_2 0.999), monitorless essentially
+tied (0.997) with zero FN_2, MEM noticeably worse (0.976).
+"""
+
+from repro.datasets.experiments import evaluate_detectors
+
+
+def test_table5_elgg(benchmark, model, elgg, table_printer):
+    comparison = benchmark.pedantic(
+        lambda: evaluate_detectors(elgg, model, k=2), rounds=1, iterations=1
+    )
+
+    table_printer("Table 5: Elgg three-tier web application", comparison.table())
+    print(f"saturated fraction: {elgg.y_true.mean():.2f} (paper: ~0.75)")
+
+    rows = comparison.rows
+    # Shape assertions.
+    assert rows["cpu"].f1 > 0.93
+    assert rows["monitorless"].f1 > rows["cpu"].f1 - 0.05
+    assert rows["monitorless"].fn <= 5
+    assert rows["mem"].f1 <= rows["cpu"].f1

@@ -1,0 +1,30 @@
+"""Table 6: TeaStore in the multi-tenant deployment.
+
+Expected shape (paper): rare saturation (~3% of samples) makes this
+far harder than Elgg.  CPU-AND-MEM achieves the best F1_2 (0.738) but
+misses more saturation events (10 FN_2); monitorless lands close
+(0.712) with very few FN_2 (3); MEM and CPU-OR-MEM collapse to mass
+false positives (F1_2 ~ 0.06).
+"""
+
+from repro.datasets.experiments import evaluate_detectors
+
+
+def test_table6_teastore(benchmark, model, multitenant, table_printer):
+    teastore, _ = multitenant
+    comparison = benchmark.pedantic(
+        lambda: evaluate_detectors(teastore, model, k=2), rounds=1, iterations=1
+    )
+
+    table_printer("Table 6: TeaStore (multi-tenant)", comparison.table())
+    print(f"saturated fraction: {teastore.y_true.mean():.3f} (paper: 0.029)")
+
+    rows = comparison.rows
+    best_baseline = max(
+        rows[kind].f1 for kind in ("cpu", "mem", "cpu-or-mem", "cpu-and-mem")
+    )
+    # Shape assertions: monitorless is competitive with the best tuned
+    # baseline (which saw the ground truth) and keeps accuracy high.
+    assert rows["monitorless"].f1 > best_baseline - 0.35
+    assert rows["monitorless"].accuracy > 0.9
+    assert rows["monitorless"].f1 > rows["mem"].f1 - 0.05

@@ -1,0 +1,40 @@
+"""Table 8: Sockshop -- the larger, harder application.
+
+Scored only over the three active Locust windows (the paper's 2997
+samples).  Expected shape: every detector degrades relative to
+TeaStore; CPU-AND-MEM best (0.699), monitorless second (0.598, ~89%
+accuracy), CPU alone mediocre, MEM / CPU-OR-MEM collapse -- and the OR
+aggregation over 14 services visibly inflates false positives
+(motivating smarter aggregation, section 4.2.3).
+"""
+
+from repro.datasets.experiments import evaluate_detectors, sockshop_windows
+
+
+def test_table8_sockshop(benchmark, model, multitenant, table_printer):
+    _, sockshop = multitenant
+    windows = sockshop_windows(len(sockshop.workload))
+
+    comparison = benchmark.pedantic(
+        lambda: evaluate_detectors(sockshop, model, k=2, window=windows),
+        rounds=1,
+        iterations=1,
+    )
+
+    table_printer("Table 8: Sockshop (evaluation windows only)", comparison.table())
+    saturated = sockshop.y_true[windows].mean()
+    print(
+        f"windowed samples: {len(windows)}, saturated fraction: "
+        f"{saturated:.3f} (paper: 0.101)"
+    )
+
+    rows = comparison.rows
+    # Shape assertions: monitorless stays accurate and competitive with
+    # every a-posteriori-tuned baseline, beats the MEM detector, and --
+    # like the paper's CPU-AND-MEM -- the conjunctive rule pays for its
+    # precision with the most missed saturation events.
+    assert rows["monitorless"].accuracy > 0.75
+    assert rows["monitorless"].f1 > rows["mem"].f1 - 0.05
+    best = max(r.f1 for r in rows.values())
+    assert rows["monitorless"].f1 > best - 0.35
+    assert rows["cpu-and-mem"].fn == max(r.fn for r in rows.values())

@@ -1,0 +1,99 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation.  The expensive artifacts -- the Table-1 training corpus,
+the engineered feature matrix, the trained monitorless model, and the
+evaluation scenarios -- are built once per session here.
+
+Scale: the paper's corpus is 63 086 samples (25 runs, full-length
+traces) and its TeaStore trace is ~7 000 s.  To keep the whole harness
+in the tens of minutes on one host we default to 300-second training
+runs, a 2 100-second evaluation trace and 60 trees instead of 250
+(the reference host has a single CPU core).
+``EXPERIMENTS.md`` records the reductions; set the environment
+variables below to run paper-scale.
+
+- ``MONITORLESS_BENCH_DURATION``    training-run seconds   (default 300)
+- ``MONITORLESS_BENCH_EVAL``        evaluation-trace secs  (default 2100)
+- ``MONITORLESS_BENCH_TREES``       forest size            (default 60)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.features.pipeline import MonitorlessPipeline, PipelineConfig
+from repro.core.model import MonitorlessModel
+from repro.datasets.experiments import elgg_scenario, multitenant_scenario
+from repro.datasets.generate import build_training_corpus
+
+DURATION = int(os.environ.get("MONITORLESS_BENCH_DURATION", "300"))
+EVAL_DURATION = int(os.environ.get("MONITORLESS_BENCH_EVAL", "2100"))
+N_TREES = int(os.environ.get("MONITORLESS_BENCH_TREES", "60"))
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full Table-1 training corpus."""
+    return build_training_corpus(
+        duration=DURATION, calibration_duration=300, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def engineered(corpus):
+    """Engineered features (the paper's section-3.3 pipeline output)."""
+    pipeline = MonitorlessPipeline(PipelineConfig(), random_state=SEED)
+    X, meta = pipeline.fit_transform(
+        corpus.X, corpus.meta, corpus.y, corpus.groups
+    )
+    return pipeline, X, meta
+
+
+@pytest.fixture(scope="session")
+def model(corpus):
+    """The monitorless model (random forest, paper hyper-parameters)."""
+    trained = MonitorlessModel(
+        classifier_params={"n_estimators": N_TREES},
+        random_state=SEED,
+    )
+    trained.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    return trained
+
+
+@pytest.fixture(scope="session")
+def elgg(corpus):
+    """The Table-5 scenario (paper sample count: 2456)."""
+    return elgg_scenario(duration=2450, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def multitenant():
+    """The Tables-6/7/8 + Figure-3 scenario pair."""
+    return multitenant_scenario(duration=EVAL_DURATION, seed=SEED)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        print(f"\n== {title} ==\n(empty)")
+        return
+    keys = list(rows[0].keys())
+    widths = {
+        key: max(len(str(key)), *(len(str(row.get(key, ""))) for row in rows))
+        for key in keys
+    }
+    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
+    print(f"\n== {title} ==")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

@@ -1,0 +1,65 @@
+"""Quickstart: train monitorless on benchmark services, detect
+saturation of an application it has never seen.
+
+Runs in a couple of minutes on a laptop:
+
+    python examples/quickstart.py
+
+Steps:
+
+1. generate labeled training data from a handful of Table-1 runs
+   (simulated Solr / Memcache / Cassandra under varying load and
+   cgroup limits);
+2. train the monitorless model (feature pipeline + random forest);
+3. simulate the *unseen* Elgg three-tier web application;
+4. predict per-container saturation from platform metrics only and
+   compare with the KPI-derived ground truth.
+"""
+
+from repro.core.aggregation import aggregate_or
+from repro.core.evaluation import lagged_confusion
+from repro.core.model import MonitorlessModel
+from repro.datasets.configs import run_by_id
+from repro.datasets.experiments import elgg_scenario
+from repro.datasets.generate import build_training_corpus
+
+
+def main() -> None:
+    print("1/4  Generating training data (6 Table-1 runs)...")
+    runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+    corpus = build_training_corpus(
+        duration=200, calibration_duration=200, seed=0, runs=runs
+    )
+    print(
+        f"     {corpus.X.shape[0]} samples x {corpus.X.shape[1]} platform "
+        f"metrics, {corpus.saturated_fraction:.0%} saturated"
+    )
+
+    print("2/4  Training the monitorless model...")
+    model = MonitorlessModel(classifier_params={"n_estimators": 40})
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    print(f"     engineered features: {model.n_engineered_features_}")
+
+    print("3/4  Simulating the unseen Elgg three-tier application...")
+    scenario = elgg_scenario(duration=600, seed=0)
+    print(
+        f"     {len(scenario.containers())} containers, ground-truth "
+        f"saturation ratio {scenario.y_true.mean():.0%}"
+    )
+
+    print("4/4  Predicting saturation from platform metrics only...")
+    per_instance = scenario.instance_predictions(model)
+    application_prediction = aggregate_or(per_instance)
+    confusion = lagged_confusion(scenario.y_true, application_prediction, k=2)
+    print(
+        f"\n     F1_2 = {confusion.f1:.3f}   Acc_2 = {confusion.accuracy:.3f}"
+        f"   (TP={confusion.tp} TN={confusion.tn} "
+        f"FP={confusion.fp} FN={confusion.fn})"
+    )
+    print("\nTop engineered features driving the model:")
+    for name, weight in model.feature_importances(top=8):
+        print(f"     {weight:.4f}  {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of *Monitorless* (Grohmann et al., Middleware 2019).
+
+Monitorless predicts application KPI degradation (resource saturation)
+from platform-level metrics only.  The package is organised bottom-up:
+
+- :mod:`repro.ml` -- from-scratch machine-learning substrate (trees,
+  forests, boosting, linear models, neural nets, scalers, PCA, model
+  selection) with a scikit-learn-style API.
+- :mod:`repro.cluster` -- simulated cloud substrate: nodes, containers,
+  cgroup CPU/memory accounting and queueing laws.
+- :mod:`repro.telemetry` -- PCP-like platform-metric catalog and
+  per-second collection agents (952 host + 88 container metrics).
+- :mod:`repro.workloads` -- LIMBO/YCSB/Locust-style load profiles.
+- :mod:`repro.apps` -- queueing models of the benchmark applications
+  (Solr, Memcache, Cassandra, Elgg, TeaStore, Sockshop).
+- :mod:`repro.core` -- the paper's contribution: KPI labeling (Kneedle),
+  the feature-engineering pipeline, the monitorless classifier, the
+  lagged evaluation metrics and the threshold baselines.
+- :mod:`repro.orchestrator` -- closed-loop collection, prediction and
+  autoscaling.
+- :mod:`repro.datasets` -- the 25 Table-1 training runs and the three
+  evaluation scenarios.
+"""
+
+from repro.core.labeling import KneedleLabeler
+from repro.core.model import MonitorlessModel
+
+__version__ = "1.0.0"
+
+__all__ = ["MonitorlessModel", "KneedleLabeler", "__version__"]

@@ -1,0 +1,283 @@
+"""Service and application performance models.
+
+A :class:`ServiceSpec` captures the *operational* profile of one
+microservice as per-request resource demands; given an arrival rate
+and the capacities granted by the node, utilization laws yield the
+per-resource load, the bottleneck, throughput and response time.
+An :class:`ApplicationModel` is a set of services with visit counts
+(how many times one end-user request touches each service), giving
+end-to-end KPIs.
+
+This operational-law approach reproduces what the classifier needs:
+throughput rises linearly with load until the bottleneck resource
+saturates, response time stretches hyperbolically at the knee, and
+requests time out when the queue outgrows client patience -- the KPI
+shapes of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.queueing import BacklogQueue, mm1_response_time
+from repro.cluster.resources import Resource
+
+__all__ = ["ServiceSpec", "InstanceDemand", "InstancePerformance", "ApplicationModel"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Per-request resource demands of one microservice.
+
+    All ``*_bytes`` / ``*_seconds`` fields are per processed request
+    unless stated otherwise.
+
+    Attributes
+    ----------
+    cpu_seconds:
+        CPU time per request (core-seconds).
+    base_latency:
+        Zero-load response time (seconds).
+    mem_base_bytes:
+        Resident footprint independent of load (heap, code).
+    mem_per_connection_bytes:
+        Memory per concurrent in-flight request.
+    working_set_bytes:
+        Data the service wants page-cached (index, dataset).
+    ws_access_bytes:
+        Bytes of the working set touched per request; the evicted
+        fraction of these accesses becomes page-in disk traffic.
+    thrash_amplification:
+        Disk bytes fetched per missed working-set byte (readahead /
+        block-granularity blow-up).
+    paged_io_random_fraction:
+        Fraction of thrash traffic that is seek-bound (hits the IO
+        queue) rather than sequential: ~1.0 for swap-in (Memcached),
+        low for readahead-friendly mmap-ed files (Solr's index).
+    disk_read_bytes, disk_write_bytes:
+        Intrinsic disk traffic (logs, compaction, persistence).
+    serial_io_seconds:
+        Time on a serialized IO path (fsync of a single commit log);
+        utilization of the DISK_QUEUE resource, capacity 1.
+    net_in_bytes, net_out_bytes:
+        NIC traffic.
+    mem_bandwidth_bytes:
+        DRAM traffic (how Memcached saturates memory bandwidth).
+    visits:
+        Mean visits to this service per end-user application request.
+    """
+
+    name: str
+    cpu_seconds: float
+    base_latency: float = 0.004
+    mem_base_bytes: float = 256e6
+    mem_per_connection_bytes: float = 1e6
+    working_set_bytes: float = 0.0
+    ws_access_bytes: float = 0.0
+    thrash_amplification: float = 32.0
+    paged_io_random_fraction: float = 1.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    serial_io_seconds: float = 0.0
+    net_in_bytes: float = 2e3
+    net_out_bytes: float = 8e3
+    mem_bandwidth_bytes: float = 50e3
+    visits: float = 1.0
+
+    def __post_init__(self):
+        numeric = (
+            self.cpu_seconds,
+            self.base_latency,
+            self.mem_base_bytes,
+            self.mem_per_connection_bytes,
+            self.working_set_bytes,
+            self.ws_access_bytes,
+            self.disk_read_bytes,
+            self.disk_write_bytes,
+            self.serial_io_seconds,
+            self.net_in_bytes,
+            self.net_out_bytes,
+            self.mem_bandwidth_bytes,
+        )
+        if any(value < 0 for value in numeric):
+            raise ValueError(f"Service {self.name}: demands must be non-negative.")
+        if self.visits <= 0:
+            raise ValueError(f"Service {self.name}: visits must be positive.")
+
+    def scaled(self, factor: float, **changes) -> "ServiceSpec":
+        """A copy with CPU demand scaled (workload-richness knob)."""
+        return replace(self, cpu_seconds=self.cpu_seconds * factor, **changes)
+
+
+@dataclass
+class InstanceDemand:
+    """Raw per-tick resource demands of one instance, pre-arbitration."""
+
+    arrival_rate: float
+    cpu_cores: float
+    disk_bytes: float  # sequential traffic against the shared disk
+    random_disk_bytes: float  # page-in / seek-bound traffic
+    network_bytes: float
+    memory_bandwidth_bytes: float
+    serial_io: float  # utilization of the serialized IO path
+    ws_access_bytes: float
+
+
+@dataclass
+class InstancePerformance:
+    """Resolved per-tick performance of one instance."""
+
+    throughput: float
+    dropped: float
+    response_time: float
+    utilizations: dict[Resource, float]
+    bottleneck: Resource
+    concurrency: float
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilizations.values())
+
+
+class InstanceRuntime:
+    """Mutable runtime of one service instance (its queue state)."""
+
+    def __init__(self, spec: ServiceSpec, timeout: float = 3.0):
+        self.spec = spec
+        self.queue = BacklogQueue(timeout=timeout)
+        # Concurrency observed last tick (Little's law); drives the
+        # connection-dependent memory footprint: a saturated service
+        # holds many in-flight requests and their buffers.
+        self.last_concurrency = 0.0
+
+    def demand(self, arrival_rate: float) -> InstanceDemand:
+        """Resource demands if ``arrival_rate`` requests/s arrive now."""
+        spec = self.spec
+        served = arrival_rate + self.queue.backlog  # queued work still consumes
+        return InstanceDemand(
+            arrival_rate=arrival_rate,
+            cpu_cores=served * spec.cpu_seconds,
+            disk_bytes=served * (spec.disk_read_bytes + spec.disk_write_bytes),
+            random_disk_bytes=0.0,  # filled in after memory accounting
+            network_bytes=served * (spec.net_in_bytes + spec.net_out_bytes),
+            memory_bandwidth_bytes=served * spec.mem_bandwidth_bytes,
+            serial_io=served * spec.serial_io_seconds,
+            ws_access_bytes=served * spec.ws_access_bytes,
+        )
+
+    def resolve(
+        self,
+        demand: InstanceDemand,
+        *,
+        cpu_capacity: float,
+        disk_capacity: float,
+        random_disk_capacity: float,
+        network_capacity: float,
+        memory_bandwidth_capacity: float,
+        memory_utilization: float,
+    ) -> InstancePerformance:
+        """Turn granted capacities into throughput/latency for one tick.
+
+        ``demand.disk_bytes`` must already include thrash traffic;
+        ``demand.random_disk_bytes`` is its seek-bound portion.
+        """
+        spec = self.spec
+
+        def ratio(load: float, capacity: float) -> float:
+            if capacity <= 0.0:
+                return 0.0 if load <= 0.0 else 100.0
+            return load / capacity
+
+        utilizations = {
+            Resource.CPU: ratio(demand.cpu_cores, cpu_capacity),
+            Resource.DISK_BANDWIDTH: ratio(demand.disk_bytes, disk_capacity),
+            Resource.DISK_QUEUE: demand.serial_io
+            + ratio(demand.random_disk_bytes, random_disk_capacity),
+            Resource.NETWORK: ratio(demand.network_bytes, network_capacity),
+            Resource.MEMORY_BANDWIDTH: ratio(
+                demand.memory_bandwidth_bytes, memory_bandwidth_capacity
+            ),
+            Resource.MEMORY: memory_utilization / 100.0,
+        }
+        # MEMORY utilization is a state, not a processing rate: it does not
+        # cap throughput by itself (its effects arrive via page-in traffic),
+        # so exclude it from the rate bottleneck.
+        rate_utils = {
+            resource: value
+            for resource, value in utilizations.items()
+            if resource != Resource.MEMORY
+        }
+        bottleneck = max(rate_utils, key=rate_utils.get)
+        rho = rate_utils[bottleneck]
+
+        served = demand.arrival_rate + self.queue.backlog
+        if rho > 0.0 and served > 0.0:
+            capacity_rps = served / rho
+        else:
+            capacity_rps = float("inf")
+        completed, dropped = self.queue.offer(demand.arrival_rate, capacity_rps)
+
+        response = mm1_response_time(spec.base_latency, min(rho, 1.0))
+        if capacity_rps > 0 and self.queue.backlog > 0:
+            response += self.queue.backlog / capacity_rps
+        response = min(response, self.queue.timeout)
+
+        concurrency = completed * response  # Little's law
+        self.last_concurrency = concurrency
+        return InstancePerformance(
+            throughput=completed,
+            dropped=dropped,
+            response_time=response,
+            utilizations=utilizations,
+            bottleneck=bottleneck,
+            concurrency=concurrency,
+        )
+
+
+@dataclass
+class ApplicationModel:
+    """An application: services with visit ratios and KPI composition.
+
+    ``services`` maps service name to its spec.  Replica management is
+    the engine's job; the model only defines structure and how KPIs
+    compose (response times add along the chain weighted by visits;
+    throughput is capped by the worst service).
+    """
+
+    name: str
+    services: dict[str, ServiceSpec] = field(default_factory=dict)
+
+    def add_service(self, spec: ServiceSpec) -> None:
+        if spec.name in self.services:
+            raise ValueError(f"Duplicate service {spec.name} in {self.name}.")
+        self.services[spec.name] = spec
+
+    def service_names(self) -> list[str]:
+        return list(self.services)
+
+    def end_to_end(
+        self, per_service: dict[str, list[InstancePerformance]]
+    ) -> tuple[float, float, float]:
+        """Compose per-instance results into application KPIs.
+
+        Returns ``(throughput, response_time, dropped)`` where
+        throughput is end-user requests/s (capped by the slowest
+        service), response time is the visit-weighted sum of mean
+        service latencies, and dropped counts end-user requests lost.
+        """
+        throughput = float("inf")
+        response_time = 0.0
+        dropped = 0.0
+        for name, spec in self.services.items():
+            performances = per_service.get(name, [])
+            if not performances:
+                raise ValueError(f"No instances reported for service {name}.")
+            service_throughput = sum(p.throughput for p in performances)
+            service_dropped = sum(p.dropped for p in performances)
+            mean_response = sum(
+                p.response_time * max(p.throughput, 1e-9) for p in performances
+            ) / max(service_throughput, 1e-9)
+            throughput = min(throughput, service_throughput / spec.visits)
+            response_time += spec.visits * mean_response
+            dropped = max(dropped, service_dropped / spec.visits)
+        return throughput, response_time, dropped

@@ -1,0 +1,154 @@
+"""Microservice call graphs (networkx substrate).
+
+The application models express *visit counts* (how often one end-user
+request touches each service).  Those numbers come from the services'
+call structure: the WebUI calls the image provider and the registry,
+the persistence layer calls the database, and so on.  This module
+makes the structure explicit:
+
+- :class:`CallGraph` wraps a ``networkx.DiGraph`` whose edges carry
+  ``calls`` (invocations per caller-request) and ``request_bytes`` /
+  ``response_bytes``;
+- :meth:`CallGraph.visit_counts` propagates one end-user request from
+  the entry service through the graph (requires a DAG, which
+  request/response microservice architectures are);
+- :meth:`CallGraph.cross_node_traffic` accounts the east-west bytes
+  per end-user request that cross node boundaries under a placement --
+  the quantity that distinguishes the paper's 10 Gb training network
+  from the 1 Gb evaluation LAN;
+- :func:`teastore_call_graph` / :func:`sockshop_call_graph` encode the
+  two evaluation applications' topologies (consistent with the visit
+  ratios in :mod:`repro.apps.teastore` / :mod:`repro.apps.sockshop`).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["CallGraph", "teastore_call_graph", "sockshop_call_graph"]
+
+
+class CallGraph:
+    """A typed wrapper around a service-call DAG."""
+
+    def __init__(self, entry: str):
+        self.graph = nx.DiGraph()
+        self.entry = entry
+        self.graph.add_node(entry)
+
+    def add_call(
+        self,
+        caller: str,
+        callee: str,
+        calls: float = 1.0,
+        request_bytes: float = 1e3,
+        response_bytes: float = 4e3,
+    ) -> "CallGraph":
+        """Declare that each request to ``caller`` makes ``calls``
+        invocations of ``callee``."""
+        if calls <= 0:
+            raise ValueError("calls must be positive.")
+        if request_bytes < 0 or response_bytes < 0:
+            raise ValueError("byte counts must be non-negative.")
+        self.graph.add_edge(
+            caller,
+            callee,
+            calls=calls,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+        )
+        return self
+
+    def services(self) -> list[str]:
+        return list(self.graph.nodes)
+
+    def validate(self) -> None:
+        """The propagation model requires an acyclic graph reachable
+        from the entry point."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise ValueError(f"Call graph has a cycle: {cycle}.")
+        unreachable = set(self.graph.nodes) - set(
+            nx.descendants(self.graph, self.entry)
+        ) - {self.entry}
+        if unreachable:
+            raise ValueError(
+                f"Services unreachable from {self.entry}: {sorted(unreachable)}."
+            )
+
+    def visit_counts(self) -> dict[str, float]:
+        """Expected visits per service for one end-user request."""
+        self.validate()
+        visits = {service: 0.0 for service in self.graph.nodes}
+        visits[self.entry] = 1.0
+        for service in nx.topological_sort(self.graph):
+            for _, callee, data in self.graph.out_edges(service, data=True):
+                visits[callee] += visits[service] * data["calls"]
+        return visits
+
+    def edge_traffic(self) -> dict[tuple[str, str], float]:
+        """Bytes per end-user request flowing over each call edge."""
+        visits = self.visit_counts()
+        traffic = {}
+        for caller, callee, data in self.graph.edges(data=True):
+            per_request = visits[caller] * data["calls"] * (
+                data["request_bytes"] + data["response_bytes"]
+            )
+            traffic[(caller, callee)] = per_request
+        return traffic
+
+    def cross_node_traffic(self, placement: dict[str, str]) -> float:
+        """East-west bytes per end-user request crossing node boundaries.
+
+        ``placement`` maps service name to node name; co-located calls
+        stay on the loopback and cost nothing on the LAN.
+        """
+        missing = set(self.graph.nodes) - set(placement)
+        if missing:
+            raise ValueError(f"No placement for services: {sorted(missing)}.")
+        total = 0.0
+        for (caller, callee), per_request in self.edge_traffic().items():
+            if placement[caller] != placement[callee]:
+                total += per_request
+        return total
+
+    def fan_out(self, service: str) -> int:
+        """Number of downstream services a service calls directly."""
+        return self.graph.out_degree(service)
+
+
+def teastore_call_graph() -> CallGraph:
+    """TeaStore's seven-service topology (von Kistowski et al., 2018).
+
+    The WebUI fronts everything; every internal call consults the
+    registry for discovery; persistence fronts the database.  Edge
+    multiplicities are consistent with the visit ratios in
+    :mod:`repro.apps.teastore`.
+    """
+    graph = CallGraph(entry="webui")
+    graph.add_call("webui", "imageprovider", calls=0.6, response_bytes=80e3)
+    graph.add_call("webui", "auth", calls=0.5, response_bytes=2e3)
+    graph.add_call("webui", "recommender", calls=0.3, response_bytes=3e3)
+    graph.add_call("webui", "persistence", calls=0.8, response_bytes=6e3)
+    graph.add_call("webui", "registry", calls=1.0, response_bytes=500.0)
+    graph.add_call("persistence", "db", calls=1.0, response_bytes=4e3)
+    return graph
+
+
+def sockshop_call_graph() -> CallGraph:
+    """Sock Shop's fourteen-service topology (Weaveworks demo)."""
+    graph = CallGraph(entry="edge-router")
+    graph.add_call("edge-router", "front-end", calls=1.0, response_bytes=45e3)
+    graph.add_call("front-end", "catalogue", calls=0.7, response_bytes=8e3)
+    graph.add_call("front-end", "carts", calls=0.6, response_bytes=4e3)
+    graph.add_call("front-end", "user", calls=0.35, response_bytes=2e3)
+    graph.add_call("front-end", "orders", calls=0.15, response_bytes=3e3)
+    graph.add_call("catalogue", "catalogue-db", calls=1.0, response_bytes=6e3)
+    graph.add_call("carts", "carts-db", calls=1.0, response_bytes=3e3)
+    graph.add_call("user", "user-db", calls=1.0, response_bytes=2e3)
+    graph.add_call("orders", "orders-db", calls=1.0, response_bytes=2e3)
+    graph.add_call("orders", "payment", calls=1.0, response_bytes=1e3)
+    graph.add_call("orders", "shipping", calls=1.0, response_bytes=1e3)
+    graph.add_call("shipping", "queue", calls=1.0, response_bytes=1e3)
+    graph.add_call("queue", "queue-master", calls=1.0, response_bytes=1e3)
+    return graph

@@ -1,0 +1,46 @@
+"""Memcached service model (paper section 3.2.1).
+
+A distributed in-memory object cache warmed with a 10 GB Twitter
+dataset.  Per-operation CPU is tiny (~17 us), so an unconstrained
+instance saturates *memory bandwidth* first (Table 1 run 7,
+Mem-Bandwidth at 2K-50K req/s).  With a 1-core quota it becomes
+Container-CPU-bound around 60K req/s (run 8).  Under an 8 GB / 4 GB
+memory limit part of the dataset is evicted and every miss swaps pages
+back in -- random disk traffic that saturates the IO queue (runs 9-10,
+IO-Queue).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel, ServiceSpec
+from repro.cluster.resources import GIB
+
+__all__ = ["memcache_service", "memcache_application"]
+
+
+def memcache_service(demand_scale: float = 1.0) -> ServiceSpec:
+    """The Memcached service spec."""
+    return ServiceSpec(
+        name="memcache",
+        cpu_seconds=1.67e-5 * demand_scale,  # ~60K req/s per core
+        base_latency=0.0006,
+        mem_base_bytes=0.5 * GIB,
+        mem_per_connection_bytes=64e3,
+        working_set_bytes=10 * GIB,  # the Twitter dataset
+        ws_access_bytes=4e3,  # one object + slab overhead per get
+        thrash_amplification=4.0,  # swap-in with readahead
+        disk_read_bytes=0.0,
+        disk_write_bytes=0.0,
+        serial_io_seconds=0.0,
+        net_in_bytes=200.0,
+        net_out_bytes=1.5e3,  # cached value
+        mem_bandwidth_bytes=220e3,  # slab copies; binds ~45K req/s at 10 GB/s
+        visits=1.0,
+    )
+
+
+def memcache_application(demand_scale: float = 1.0) -> ApplicationModel:
+    """Memcached as a single-service application."""
+    application = ApplicationModel(name="memcache")
+    application.add_service(memcache_service(demand_scale))
+    return application

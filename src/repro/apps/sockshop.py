@@ -1,0 +1,96 @@
+"""Sock Shop microservice application (Weaveworks demo, section 4.2.1).
+
+The third evaluation application: fourteen services.  The paper's
+Locust profile has users log in, browse the catalogue, fill carts and
+place orders; load ramps to 700 concurrent clients.
+
+Calibration targets the Table-8 behaviour: ~10% of samples saturated
+(the tail of each ramp plus the constant-load plateau), with the
+front-end and carts the services closest to their knees, and enough
+lightly-loaded services that the OR aggregation produces noticeably
+more false positives than on TeaStore.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel, ServiceSpec
+from repro.cluster.resources import GIB
+
+__all__ = ["sockshop_application", "SOCKSHOP_SERVICES"]
+
+SOCKSHOP_SERVICES = (
+    "edge-router",
+    "front-end",
+    "payment",
+    "catalogue",
+    "catalogue-db",
+    "carts",
+    "carts-db",
+    "user",
+    "user-db",
+    "orders",
+    "orders-db",
+    "shipping",
+    "queue",
+    "queue-master",
+)
+
+# (cpu_seconds, visits, net_out_bytes, extras) per service.  CPU demands
+# put the 1-core front-end knee near 640 req/s -- just under the 700-
+# client plateau -- and carts near its knee at the plateau, while the
+# *-db and queue services idle well below theirs.
+_PROFILES: dict[str, dict] = {
+    "edge-router": dict(cpu_seconds=0.0006, visits=1.0, net_out_bytes=2e3),
+    "front-end": dict(
+        cpu_seconds=0.00156, visits=1.0, net_out_bytes=45e3, base_latency=0.010
+    ),
+    "payment": dict(cpu_seconds=0.0020, visits=0.15, net_out_bytes=1e3),
+    "catalogue": dict(cpu_seconds=0.0011, visits=0.7, net_out_bytes=8e3),
+    "catalogue-db": dict(
+        cpu_seconds=0.0009,
+        visits=0.7,
+        net_out_bytes=6e3,
+        working_set_bytes=1 * GIB,
+        ws_access_bytes=4e3,
+    ),
+    "carts": dict(cpu_seconds=0.0021, visits=0.6, net_out_bytes=4e3),
+    "carts-db": dict(
+        cpu_seconds=0.0010,
+        visits=0.6,
+        net_out_bytes=3e3,
+        working_set_bytes=1 * GIB,
+        ws_access_bytes=3e3,
+        disk_write_bytes=2e3,
+    ),
+    "user": dict(cpu_seconds=0.0018, visits=0.35, net_out_bytes=2e3),
+    "user-db": dict(
+        cpu_seconds=0.0008,
+        visits=0.35,
+        net_out_bytes=2e3,
+        working_set_bytes=0.5 * GIB,
+        ws_access_bytes=2e3,
+    ),
+    "orders": dict(cpu_seconds=0.0024, visits=0.15, net_out_bytes=3e3),
+    "orders-db": dict(
+        cpu_seconds=0.0010,
+        visits=0.15,
+        net_out_bytes=2e3,
+        working_set_bytes=0.5 * GIB,
+        ws_access_bytes=2e3,
+        disk_write_bytes=3e3,
+    ),
+    "shipping": dict(cpu_seconds=0.0012, visits=0.15, net_out_bytes=1e3),
+    "queue": dict(cpu_seconds=0.0005, visits=0.15, net_out_bytes=1e3),
+    "queue-master": dict(cpu_seconds=0.0008, visits=0.15, net_out_bytes=1e3),
+}
+
+
+def sockshop_application() -> ApplicationModel:
+    """The fourteen-service Sock Shop model."""
+    application = ApplicationModel(name="sockshop")
+    for service in SOCKSHOP_SERVICES:
+        profile = dict(_PROFILES[service])
+        profile.setdefault("base_latency", 0.005)
+        profile.setdefault("mem_base_bytes", 0.6 * GIB)
+        application.add_service(ServiceSpec(name=service, **profile))
+    return application

@@ -1,0 +1,126 @@
+"""TeaStore microservice application (von Kistowski et al., 2018).
+
+The second evaluation application: a seven-service online storefront
+(section 4.2.1).  Services and their roles:
+
+- **webui** answers HTTP requests and renders the front end;
+- **imageprovider** serves product images to the WebUI;
+- **auth** handles encryption/authentication (BCrypt-style hashing
+  makes it CPU-hungry -- it gets 2 cores in the paper's deployment and
+  is still the most frequently saturated service in Figure 3);
+- **recommender** runs ML recommendations;
+- **persistence** fronts permanent storage;
+- **registry** does service discovery / load balancing (touched by
+  every inter-service call, individually cheap);
+- **db** is the MariaDB instance behind persistence.
+
+Visit ratios reflect the paper's user actions (log in, browse, add to
+cart, log out).  Calibration targets the Figure-3 behaviour: with the
+paper's container sizing, only large load peaks of the trace saturate,
+and the saturation order is Auth (~500 req/s of application load),
+then Recommender (~555), then WebUI (~625) -- Auth/Recommender are the
+paper's hottest services and the ones every Table-7 policy scales.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel, ServiceSpec
+from repro.cluster.resources import GIB
+
+__all__ = ["teastore_application", "TEASTORE_SERVICES"]
+
+TEASTORE_SERVICES = (
+    "webui",
+    "imageprovider",
+    "auth",
+    "recommender",
+    "persistence",
+    "registry",
+    "db",
+)
+
+
+def teastore_application() -> ApplicationModel:
+    """The seven-service TeaStore model."""
+    application = ApplicationModel(name="teastore")
+    application.add_service(
+        ServiceSpec(
+            name="webui",
+            cpu_seconds=0.0016,  # 1-core knee ~625 req/s
+            base_latency=0.012,
+            mem_base_bytes=1 * GIB,
+            mem_per_connection_bytes=4e6,
+            net_in_bytes=1.5e3,
+            net_out_bytes=40e3,
+            visits=1.0,
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="imageprovider",
+            cpu_seconds=0.0012,
+            base_latency=0.006,
+            mem_base_bytes=1 * GIB,
+            working_set_bytes=2 * GIB,  # image cache
+            ws_access_bytes=30e3,
+            net_out_bytes=80e3,  # product images
+            visits=0.6,
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="auth",
+            cpu_seconds=0.008,  # password hashing; 2-core knee ~250 visits/s
+            base_latency=0.010,
+            mem_base_bytes=0.8 * GIB,
+            mem_per_connection_bytes=6e6,  # session state per in-flight login
+            net_out_bytes=2e3,
+            visits=0.5,  # log in / log out actions
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="recommender",
+            cpu_seconds=0.0060,  # ML scoring; 1-core knee ~165 visits/s
+            base_latency=0.015,
+            mem_base_bytes=1.2 * GIB,
+            mem_per_connection_bytes=6e6,  # per-request feature matrices
+            mem_bandwidth_bytes=200e3,
+            net_out_bytes=3e3,
+            visits=0.3,  # browse actions trigger recommendations
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="persistence",
+            cpu_seconds=0.0015,
+            base_latency=0.005,
+            mem_base_bytes=1 * GIB,
+            net_out_bytes=6e3,
+            visits=0.8,
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="registry",
+            cpu_seconds=0.0008,  # touched by every call, individually cheap
+            base_latency=0.002,
+            mem_base_bytes=0.5 * GIB,
+            net_out_bytes=500.0,
+            visits=1.0,
+        )
+    )
+    application.add_service(
+        ServiceSpec(
+            name="db",
+            cpu_seconds=0.0020,
+            base_latency=0.004,
+            mem_base_bytes=1.5 * GIB,
+            working_set_bytes=1.5 * GIB,
+            ws_access_bytes=6e3,
+            disk_write_bytes=4e3,
+            net_out_bytes=4e3,
+            visits=0.8,
+        )
+    )
+    return application

@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows:
+
+- ``inventory``  -- print the Table-1 training-run inventory;
+- ``train``      -- generate the corpus, train a model, save it;
+- ``evaluate``   -- score a saved model on an evaluation scenario
+  (``elgg`` / ``teastore`` / ``sockshop``) against the tuned
+  threshold baselines;
+- ``explain``    -- print a saved model's top features and surrogate
+  scaling rules.
+
+Examples::
+
+    python -m repro inventory
+    python -m repro train --out model.pkl --duration 300
+    python -m repro evaluate --model model.pkl --scenario elgg
+    python -m repro explain --model model.pkl --duration 150
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Monitorless (Middleware '19) reproduction toolkit.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("inventory", help="print the Table-1 run inventory")
+
+    train = commands.add_parser("train", help="train and save a model")
+    train.add_argument("--out", required=True, help="output model path (.pkl)")
+    train.add_argument("--duration", type=int, default=300,
+                       help="seconds per training run (default 300)")
+    train.add_argument("--trees", type=int, default=60,
+                       help="random-forest size (paper: 250)")
+    train.add_argument("--runs", type=int, nargs="*", default=None,
+                       help="Table-1 run ids (default: all 25)")
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = commands.add_parser("evaluate", help="score a saved model")
+    evaluate.add_argument("--model", required=True, help="path to a saved model")
+    evaluate.add_argument(
+        "--scenario", choices=("elgg", "teastore", "sockshop"), default="elgg"
+    )
+    evaluate.add_argument("--duration", type=int, default=1400,
+                          help="evaluation-trace seconds")
+    evaluate.add_argument("--k", type=int, default=2, help="lag tolerance")
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    explain = commands.add_parser("explain", help="inspect a saved model")
+    explain.add_argument("--model", required=True)
+    explain.add_argument("--top", type=int, default=20)
+    explain.add_argument("--duration", type=int, default=150,
+                         help="corpus seconds for the surrogate's input")
+    explain.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_inventory(args, out) -> int:
+    from repro.datasets.configs import TABLE1_RUNS
+
+    print(f"{'#':>2}  {'service':<10} {'CPU/MEM':<12} {'par':<4} "
+          f"{'traffic':<18} bottleneck", file=out)
+    for run in TABLE1_RUNS:
+        limits = (
+            f"{run.cpu_limit or '-'}/"
+            f"{f'{run.mem_limit / 2**30:.0f}GB' if run.mem_limit else '-'}"
+        )
+        print(
+            f"{run.run_id:>2}  {run.service:<10} {limits:<12} "
+            f"{run.parallel_with or '-':<4} {run.traffic:<18} {run.bottleneck}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_train(args, out) -> int:
+    from repro.core.model import MonitorlessModel
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+
+    runs = [run_by_id(i) for i in args.runs] if args.runs else None
+    print(f"Generating corpus ({args.duration}s per run)...", file=out)
+    corpus = build_training_corpus(
+        duration=args.duration, seed=args.seed, runs=runs
+    )
+    print(
+        f"  {corpus.X.shape[0]} samples x {corpus.X.shape[1]} metrics, "
+        f"{corpus.saturated_fraction:.0%} saturated",
+        file=out,
+    )
+    print(f"Training ({args.trees} trees)...", file=out)
+    model = MonitorlessModel(
+        classifier_params={"n_estimators": args.trees}, random_state=args.seed
+    )
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    model.save(args.out)
+    print(f"Saved to {args.out} "
+          f"({model.n_engineered_features_} engineered features).", file=out)
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    from repro.core.model import MonitorlessModel
+    from repro.datasets.experiments import (
+        elgg_scenario,
+        evaluate_detectors,
+        multitenant_scenario,
+        sockshop_windows,
+    )
+
+    model = MonitorlessModel.load(args.model)
+    window = None
+    if args.scenario == "elgg":
+        scenario = elgg_scenario(duration=args.duration, seed=args.seed)
+    else:
+        teastore, sockshop = multitenant_scenario(
+            duration=args.duration, seed=args.seed
+        )
+        scenario = teastore if args.scenario == "teastore" else sockshop
+        if args.scenario == "sockshop":
+            window = sockshop_windows(args.duration)
+    comparison = evaluate_detectors(scenario, model, k=args.k, window=window)
+    for row in comparison.table():
+        print("  ".join(f"{key}={value}" for key, value in row.items()), file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    from repro.core.interpret import SurrogateTree
+    from repro.core.model import MonitorlessModel
+    from repro.datasets.generate import build_training_corpus
+
+    model = MonitorlessModel.load(args.model)
+    print(f"Top {args.top} features by importance:", file=out)
+    for name, weight in model.feature_importances(top=args.top):
+        print(f"  {weight:.4f}  {name}", file=out)
+
+    print("\nSurrogate scaling rules (depth 3):", file=out)
+    corpus = build_training_corpus(duration=args.duration, seed=args.seed)
+    features = model.transform(corpus.X, corpus.meta, corpus.groups)
+    predictions = model.classifier_.predict(features)
+    surrogate = SurrogateTree(max_depth=3, min_samples_leaf=30).fit(
+        features, predictions, model.pipeline_.feature_names_
+    )
+    for rule in surrogate.rules()[:8]:
+        print(f"  {rule}", file=out)
+    print(
+        f"\n(surrogate fidelity: {surrogate.fidelity(features, predictions):.1%})",
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "inventory": _cmd_inventory,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

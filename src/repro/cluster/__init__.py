@@ -1,0 +1,38 @@
+"""Simulated cloud substrate: nodes, containers and cgroup accounting.
+
+Replaces the paper's physical testbed (HP ProLiant servers running
+Docker under CentOS/Debian/Ubuntu).  The simulation is discrete-time
+with one-second ticks -- the same sampling interval as PCP and
+``docker stats`` -- and reproduces the causal couplings the classifier
+learns from:
+
+- CPU quota throttling (``cgroup.cpusched.throttled`` grows when a
+  container's demand exceeds its quota);
+- proportional-share contention when a node's cores are oversubscribed
+  (interference between co-located containers);
+- memory-limit pressure spilling into disk traffic (page thrashing);
+- shared disk and NIC bandwidth per node.
+"""
+
+from repro.cluster.cgroup import CpuCgroup, MemoryCgroup
+from repro.cluster.container import Container
+from repro.cluster.node import MACHINES, Node, NodeSpec
+from repro.cluster.resources import Resource
+
+# NOTE: repro.cluster.simulation and repro.cluster.faults are
+# intentionally NOT re-exported here: the engine imports
+# repro.apps.base (for the instance runtimes), which imports
+# repro.cluster.queueing -- re-exporting them would close an import
+# cycle through this package __init__.  Import them directly:
+# ``from repro.cluster.simulation import ClusterSimulation`` and
+# ``from repro.cluster.faults import FaultSchedule``.
+
+__all__ = [
+    "Resource",
+    "CpuCgroup",
+    "MemoryCgroup",
+    "Container",
+    "Node",
+    "NodeSpec",
+    "MACHINES",
+]

@@ -1,0 +1,157 @@
+"""cgroup accounting for simulated containers.
+
+Models the two control groups the paper's configurations use
+(Table 1's ``CPU, MEM`` column): the CFS CPU quota and the memory
+limit.  The observable side effects match Linux semantics:
+
+- **CPU**: CFS enforces the quota in 100 ms periods, so a container
+  whose demand exceeds its quota sees up to 10 throttled periods per
+  second (``cgroup.cpusched.throttled``), and its usable CPU is capped.
+- **Memory**: a container at its memory limit cannot grow its page
+  cache; the overflow working set turns into page-in traffic against
+  the disk (thrashing), which is how Memcache with an 8 GB limit
+  becomes IO-queue-bound in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CpuCgroup", "MemoryCgroup", "CFS_PERIODS_PER_SECOND"]
+
+CFS_PERIODS_PER_SECOND = 10  # Linux default: 100 ms CFS periods
+
+
+@dataclass
+class CpuAccounting:
+    """Per-tick CPU accounting snapshot."""
+
+    demand_cores: float
+    used_cores: float
+    quota_cores: float | None
+    nr_periods: int
+    nr_throttled: int
+
+    @property
+    def quota_utilization(self) -> float:
+        """Usage relative to the container's own allocation (0-100).
+
+        This is the paper's ``C-CPU`` utilization: "CPU-time relative
+        to the allocated maximum" (section 2.3).
+        """
+        if self.quota_cores is None or self.quota_cores <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.used_cores / self.quota_cores)
+
+
+class CpuCgroup:
+    """CFS bandwidth controller for one container.
+
+    ``quota_cores=None`` means unlimited (no ``cpu.cfs_quota_us``).
+    """
+
+    def __init__(self, quota_cores: float | None = None):
+        if quota_cores is not None and quota_cores <= 0:
+            raise ValueError("quota_cores must be positive or None.")
+        self.quota_cores = quota_cores
+        self.total_periods = 0
+        self.total_throttled = 0
+
+    def effective_limit(self, node_share: float) -> float:
+        """Usable cores this tick given the node's fair share."""
+        if self.quota_cores is None:
+            return node_share
+        return min(self.quota_cores, node_share)
+
+    def account(self, demand_cores: float, node_share: float) -> CpuAccounting:
+        """Run one 1-second tick of CFS accounting."""
+        if demand_cores < 0:
+            raise ValueError("demand_cores must be non-negative.")
+        limit = self.effective_limit(node_share)
+        used = min(demand_cores, limit)
+        nr_periods = CFS_PERIODS_PER_SECOND
+        if self.quota_cores is not None and demand_cores > self.quota_cores:
+            # Fraction of periods in which the quota ran out, scaled by
+            # how far over quota the demand is (mirrors CFS behaviour
+            # where modest overshoot throttles only some periods).
+            overshoot = min(1.0, (demand_cores - self.quota_cores) / self.quota_cores)
+            nr_throttled = int(math.ceil(overshoot * CFS_PERIODS_PER_SECOND))
+        else:
+            nr_throttled = 0
+        self.total_periods += nr_periods
+        self.total_throttled += nr_throttled
+        return CpuAccounting(
+            demand_cores=demand_cores,
+            used_cores=used,
+            quota_cores=self.quota_cores,
+            nr_periods=nr_periods,
+            nr_throttled=nr_throttled,
+        )
+
+
+@dataclass
+class MemoryAccounting:
+    """Per-tick memory accounting snapshot."""
+
+    usage_bytes: float
+    limit_bytes: float | None
+    resident_working_set: float
+    page_in_bytes: float  # thrashing traffic hitting the disk
+
+    @property
+    def limit_utilization(self) -> float:
+        """Usage relative to the limit (0-100); 0 when unlimited."""
+        if self.limit_bytes is None or self.limit_bytes <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.usage_bytes / self.limit_bytes)
+
+
+class MemoryCgroup:
+    """Memory limit with page-cache displacement semantics.
+
+    A service has a base footprint (heap, code) plus a *working set*
+    it would like to keep cached (e.g. Solr's 12 GB index).  Under an
+    unlimited cgroup the working set is fully resident; under a limit,
+    the resident portion shrinks and every access to the evicted
+    portion becomes page-in disk traffic.
+    """
+
+    def __init__(self, limit_bytes: float | None = None):
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive or None.")
+        self.limit_bytes = limit_bytes
+
+    def account(
+        self,
+        base_bytes: float,
+        working_set_bytes: float,
+        access_bytes_per_second: float,
+    ) -> MemoryAccounting:
+        """One tick of accounting.
+
+        ``access_bytes_per_second`` is how much of the working set the
+        service touches this tick; the evicted fraction of those
+        accesses page in from disk.
+        """
+        if min(base_bytes, working_set_bytes, access_bytes_per_second) < 0:
+            raise ValueError("Memory quantities must be non-negative.")
+        if self.limit_bytes is None:
+            resident = working_set_bytes
+            usage = base_bytes + working_set_bytes
+            page_in = 0.0
+        else:
+            available_for_cache = max(0.0, self.limit_bytes - base_bytes)
+            resident = min(working_set_bytes, available_for_cache)
+            usage = min(base_bytes + resident, self.limit_bytes)
+            if working_set_bytes > 0:
+                miss_ratio = 1.0 - resident / working_set_bytes
+            else:
+                miss_ratio = 0.0
+            page_in = access_bytes_per_second * miss_ratio
+        return MemoryAccounting(
+            usage_bytes=usage,
+            limit_bytes=self.limit_bytes,
+            resident_working_set=resident,
+            page_in_bytes=page_in,
+        )

@@ -1,0 +1,80 @@
+"""Containers: the unit of deployment, limitation and monitoring.
+
+A container pairs a service instance with its cgroups and carries the
+per-tick accounting snapshots the telemetry agent turns into the 88
+container-level metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cgroup import CpuAccounting, CpuCgroup, MemoryAccounting, MemoryCgroup
+
+__all__ = ["Container", "ContainerTick"]
+
+
+@dataclass
+class ContainerTick:
+    """Everything observable about one container in one 1-second tick."""
+
+    cpu: CpuAccounting
+    memory: MemoryAccounting
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    network_rx_bytes: float = 0.0
+    network_tx_bytes: float = 0.0
+    tcp_connections: float = 0.0
+    processes: float = 1.0
+    throughput: float = 0.0  # completed requests/s
+    response_time: float = 0.0  # seconds
+    dropped: float = 0.0  # requests/s
+    # Simulator ground truth (never exposed as platform metrics):
+    bottleneck: str = ""  # resource with the highest utilization
+    max_utilization: float = 0.0
+
+
+@dataclass
+class Container:
+    """A running service instance inside its cgroups.
+
+    ``service`` and ``application`` are plain labels; the actual
+    performance model lives in :mod:`repro.apps` and writes one
+    :class:`ContainerTick` per simulated second via :meth:`record`.
+    """
+
+    name: str
+    service: str
+    application: str
+    cpu_cgroup: CpuCgroup = field(default_factory=CpuCgroup)
+    memory_cgroup: MemoryCgroup = field(default_factory=MemoryCgroup)
+    node: str | None = None
+    created_at: int = 0  # simulation tick at which the container started
+    history: list[ContainerTick] = field(default_factory=list)
+
+    def tick_at(self, t: int) -> ContainerTick | None:
+        """The accounting snapshot for absolute simulation tick ``t``."""
+        index = t - self.created_at
+        if 0 <= index < len(self.history):
+            return self.history[index]
+        return None
+
+    def record(self, tick: ContainerTick) -> None:
+        """Append one tick of accounting."""
+        self.history.append(tick)
+
+    def last(self) -> ContainerTick:
+        if not self.history:
+            raise RuntimeError(f"Container {self.name} has no recorded ticks.")
+        return self.history[-1]
+
+    @property
+    def cpu_limit_cores(self) -> float | None:
+        return self.cpu_cgroup.quota_cores
+
+    @property
+    def memory_limit_bytes(self) -> float | None:
+        return self.memory_cgroup.limit_bytes
+
+    def __str__(self) -> str:
+        return f"{self.application}/{self.service}/{self.name}"

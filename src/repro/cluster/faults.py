@@ -1,0 +1,165 @@
+"""Fault injection for robustness experiments.
+
+The paper argues monitorless must survive messy production conditions
+(noisy workloads, hardware changes, interference).  This module
+injects controlled faults into a running simulation:
+
+- :class:`NodeSlowdown` -- a node temporarily loses part of its CPU
+  capacity (thermal throttling, co-tenant VM, degraded host);
+- :class:`DiskDegradation` -- disk bandwidth drops (RAID rebuild,
+  failing device);
+- :class:`FaultSchedule` -- applies a set of faults tick by tick while
+  driving a workload through the simulation.
+
+Telemetry-level faults live in :class:`MetricDropout`, which wraps a
+:class:`~repro.telemetry.agent.TelemetryAgent` and makes a random
+subset of metric readings go missing (held at the previous value, the
+way real collectors behave on a missed scrape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cluster.simulation import ClusterSimulation, SimulationResult
+
+__all__ = ["NodeSlowdown", "DiskDegradation", "FaultSchedule", "MetricDropout"]
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Reduce a node's usable cores to ``factor`` during [start, end)."""
+
+    node: str
+    factor: float
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1].")
+        if self.end <= self.start:
+            raise ValueError("end must exceed start.")
+
+    def active(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    def apply(self, spec):
+        degraded_cores = max(1, int(round(spec.cores * self.factor)))
+        return replace(spec, cores=degraded_cores)
+
+
+@dataclass(frozen=True)
+class DiskDegradation:
+    """Reduce a node's disk bandwidth to ``factor`` during [start, end)."""
+
+    node: str
+    factor: float
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1].")
+        if self.end <= self.start:
+            raise ValueError("end must exceed start.")
+
+    def active(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    def apply(self, spec):
+        return replace(spec, disk_bandwidth=spec.disk_bandwidth * self.factor)
+
+
+class FaultSchedule:
+    """Drive a simulation while applying scheduled faults.
+
+    Node specs are swapped in and out around each tick, so the engine's
+    fair-sharing sees the degraded capacities exactly during the fault
+    windows.
+    """
+
+    def __init__(self, faults: list):
+        self.faults = list(faults)
+        known_nodes = {fault.node for fault in self.faults}
+        self._by_node = {
+            node: [fault for fault in self.faults if fault.node == node]
+            for node in known_nodes
+        }
+
+    def run(
+        self, simulation: ClusterSimulation, workloads: dict[str, np.ndarray]
+    ) -> SimulationResult:
+        """Run all ticks of ``workloads`` under the fault schedule."""
+        lengths = {len(series) for series in workloads.values()}
+        if len(lengths) != 1:
+            raise ValueError("All workload series must have equal length.")
+        duration = lengths.pop()
+        pristine = {
+            name: node.spec for name, node in simulation.nodes.items()
+        }
+        missing = set(self._by_node) - set(pristine)
+        if missing:
+            raise ValueError(f"Faults target unknown nodes: {sorted(missing)}.")
+
+        for t in range(duration):
+            for node_name, faults in self._by_node.items():
+                spec = pristine[node_name]
+                for fault in faults:
+                    if fault.active(t):
+                        spec = fault.apply(spec)
+                simulation.nodes[node_name].spec = spec
+            simulation.step(
+                {app: float(series[t]) for app, series in workloads.items()}
+            )
+        # Restore pristine capacity after the run.
+        for node_name, spec in pristine.items():
+            simulation.nodes[node_name].spec = spec
+        return simulation.result()
+
+
+class MetricDropout:
+    """Telemetry agent wrapper: a fraction of readings go missing.
+
+    Missing readings repeat the previous observed value (sample-and-
+    hold), matching how scrape-based collectors surface gaps.  The
+    dropout pattern is deterministic given the seed.
+    """
+
+    def __init__(self, agent, probability: float, seed: int = 0):
+        """``agent`` is a :class:`repro.telemetry.agent.TelemetryAgent`
+        (kept duck-typed to avoid a cluster->telemetry import cycle)."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1).")
+        self.agent = agent
+        self.probability = probability
+        self.seed = seed
+        self.catalog = agent.catalog  # quacks like a TelemetryAgent
+
+    def _apply_dropout(self, matrix: np.ndarray, stream: str) -> np.ndarray:
+        if self.probability == 0.0:
+            return matrix
+        rng = np.random.default_rng(hash((self.seed, stream)) & 0x7FFFFFFF)
+        dropped = rng.random(matrix.shape) < self.probability
+        dropped[0] = False  # the first sample always exists
+        result = matrix.copy()
+        for t in range(1, result.shape[0]):
+            row_dropped = dropped[t]
+            result[t, row_dropped] = result[t - 1, row_dropped]
+        return result
+
+    def instance_matrix(self, container, nodes, start=None, end=None):
+        matrix = self.agent.instance_matrix(container, nodes, start, end)
+        return self._apply_dropout(matrix, container.name)
+
+    def utilization_series(self, container, nodes):
+        cpu, mem = self.agent.utilization_series(container, nodes)
+        stacked = self._apply_dropout(
+            np.column_stack([cpu, mem]), f"util:{container.name}"
+        )
+        return stacked[:, 0], stacked[:, 1]
+
+    def container_state(self, container, node, start, end):
+        return self.agent.container_state(container, node, start, end)

@@ -1,0 +1,33 @@
+"""Resource kinds and unit helpers."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Resource", "GIB", "MIB", "KIB", "GBIT"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+GBIT = 125_000_000  # 1 Gbit/s in bytes/s
+
+
+class Resource(str, enum.Enum):
+    """Platform resources a service instance can bottleneck on.
+
+    Matches the bottleneck taxonomy of the paper's Table 1:
+    Container-CPU, Host-CPU, IO-Bandwidth, IO-Queue/IO-Wait,
+    Mem-Bandwidth and Network-Util all map onto these kinds (the
+    container/host distinction is which *limit* binds, not a different
+    resource).
+    """
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    MEMORY_BANDWIDTH = "memory_bandwidth"
+    DISK_BANDWIDTH = "disk_bandwidth"
+    DISK_QUEUE = "disk_queue"
+    NETWORK = "network"
+
+    def __str__(self) -> str:  # readable in logs and tables
+        return self.value

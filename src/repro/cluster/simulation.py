@@ -1,0 +1,379 @@
+"""Discrete-time cluster simulation engine.
+
+Ties together nodes, containers/cgroups, application models and
+workload series.  One tick is one second (the PCP sampling interval).
+Per tick the engine:
+
+1. splits each application's arrival rate over its service replicas;
+2. computes raw per-instance resource demands (including queued work);
+3. accounts container memory (page-in traffic from evicted working
+   sets);
+4. arbitrates shared node resources with proportional fair sharing,
+   respecting cgroup CPU quotas;
+5. resolves throughput / response time / drops per instance and
+   records a :class:`~repro.cluster.container.ContainerTick`;
+6. composes application KPIs.
+
+The engine is deliberately *stepwise*: :meth:`ClusterSimulation.step`
+advances one tick, so a closed-loop orchestrator can scale deployments
+between ticks (section 4.2's autoscaling experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.apps.base import ApplicationModel, InstanceRuntime
+from repro.cluster.cgroup import CpuCgroup, MemoryCgroup
+from repro.cluster.container import Container, ContainerTick
+from repro.cluster.node import Node, NodeSpec, fair_share
+
+__all__ = ["Placement", "Deployment", "ClusterSimulation", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one replica of a service runs and with which limits."""
+
+    node: str
+    cpu_limit: float | None = None
+    memory_limit: float | None = None
+
+
+@dataclass
+class _Instance:
+    """Engine-internal pairing of a container with its runtime."""
+
+    container: Container
+    runtime: InstanceRuntime
+    application: str
+    service: str
+
+
+@dataclass
+class Deployment:
+    """One application's replicas, grouped by service."""
+
+    application: ApplicationModel
+    instances: dict[str, list[_Instance]] = field(default_factory=dict)
+
+    def replicas(self, service: str) -> int:
+        return len(self.instances.get(service, []))
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, ready for telemetry and labeling."""
+
+    duration: int
+    applications: dict[str, dict[str, np.ndarray]]
+    # app -> {"offered", "throughput", "response_time", "dropped"}
+    containers: list[Container]
+    nodes: dict[str, Node]
+
+    def kpi(self, application: str, name: str) -> np.ndarray:
+        return self.applications[application][name]
+
+
+class ClusterSimulation:
+    """A set of nodes plus deployed applications, advanced tick by tick."""
+
+    def __init__(self, nodes: dict[str, NodeSpec] | list[NodeSpec], seed: int = 0):
+        if isinstance(nodes, list):
+            nodes = {spec.name: spec for spec in nodes}
+        if not nodes:
+            raise ValueError("At least one node is required.")
+        # The mapping key is the authoritative node name (a machine spec
+        # like MACHINES["training"] can back a node of any name).
+        self.nodes: dict[str, Node] = {
+            name: Node(
+                spec=spec if spec.name == name else replace(spec, name=name)
+            )
+            for name, spec in nodes.items()
+        }
+        self.deployments: dict[str, Deployment] = {}
+        self.rng = np.random.default_rng(seed)
+        self.clock = 0
+        self._kpis: dict[str, dict[str, list[float]]] = {}
+        self._container_seq = 0
+
+    # ------------------------------------------------------------------
+    # Deployment management
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        application: ApplicationModel,
+        placements: dict[str, list[Placement]],
+    ) -> Deployment:
+        """Place one replica per :class:`Placement` for each service."""
+        if application.name in self.deployments:
+            raise ValueError(f"Application {application.name} already deployed.")
+        missing = set(application.services) - set(placements)
+        if missing:
+            raise ValueError(f"No placement for services: {sorted(missing)}.")
+        deployment = Deployment(application=application)
+        self.deployments[application.name] = deployment
+        self._kpis[application.name] = {
+            "offered": [],
+            "throughput": [],
+            "response_time": [],
+            "dropped": [],
+        }
+        for service, service_placements in placements.items():
+            if not service_placements:
+                raise ValueError(f"Service {service} needs at least one replica.")
+            for placement in service_placements:
+                self.add_replica(application.name, service, placement)
+        return deployment
+
+    def add_replica(
+        self, application: str, service: str, placement: Placement
+    ) -> Container:
+        """Start one more replica of ``service`` (usable mid-run)."""
+        deployment = self.deployments[application]
+        spec = deployment.application.services[service]
+        node = self.nodes[placement.node]
+        self._container_seq += 1
+        container = Container(
+            name=f"{application}.{service}.{self._container_seq}",
+            service=service,
+            application=application,
+            cpu_cgroup=CpuCgroup(placement.cpu_limit),
+            memory_cgroup=MemoryCgroup(placement.memory_limit),
+            created_at=self.clock,
+        )
+        node.add_container(container)
+        instance = _Instance(
+            container=container,
+            runtime=InstanceRuntime(spec),
+            application=application,
+            service=service,
+        )
+        deployment.instances.setdefault(service, []).append(instance)
+        return container
+
+    def remove_replica(self, application: str, service: str) -> None:
+        """Stop the most recently added replica (keeps at least one)."""
+        deployment = self.deployments[application]
+        replicas = deployment.instances.get(service, [])
+        if len(replicas) <= 1:
+            raise ValueError(f"Service {service} must keep at least one replica.")
+        instance = replicas.pop()
+        self.nodes[instance.container.node].remove_container(instance.container)
+
+    def replica_counts(self, application: str) -> dict[str, int]:
+        deployment = self.deployments[application]
+        return {service: len(replicas) for service, replicas in deployment.instances.items()}
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, arrivals: dict[str, float]) -> None:
+        """Advance one second with the given per-application arrival rates."""
+        unknown = set(arrivals) - set(self.deployments)
+        if unknown:
+            raise ValueError(f"Arrivals for undeployed applications: {sorted(unknown)}.")
+
+        # Pass 1: per-instance arrivals, demands and memory accounting.
+        all_instances: list[_Instance] = []
+        demands = {}
+        memory = {}
+        for app_name, deployment in self.deployments.items():
+            app_arrival = float(arrivals.get(app_name, 0.0))
+            for service, replicas in deployment.instances.items():
+                spec = deployment.application.services[service]
+                per_replica = app_arrival * spec.visits / len(replicas)
+                for instance in replicas:
+                    demand = instance.runtime.demand(per_replica)
+                    # Connection-dependent memory follows the previous
+                    # tick's actual concurrency (Little's law), so a
+                    # saturated service's footprint grows with its queue.
+                    concurrency = max(
+                        instance.runtime.last_concurrency,
+                        per_replica * max(spec.base_latency, 1e-3),
+                    )
+                    mem_account = instance.container.memory_cgroup.account(
+                        base_bytes=spec.mem_base_bytes
+                        + concurrency * spec.mem_per_connection_bytes,
+                        working_set_bytes=spec.working_set_bytes,
+                        access_bytes_per_second=demand.ws_access_bytes,
+                    )
+                    thrash_bytes = (
+                        mem_account.page_in_bytes * spec.thrash_amplification
+                    )
+                    demand.disk_bytes += thrash_bytes
+                    demand.random_disk_bytes = (
+                        thrash_bytes * spec.paged_io_random_fraction
+                    )
+                    demands[instance.container.name] = demand
+                    memory[instance.container.name] = mem_account
+                    all_instances.append(instance)
+
+        # Pass 2: arbitrate shared resources per node.  Each container's
+        # usable capacity is its fair-share grant plus the node's idle
+        # headroom (work-conserving scheduling): on an idle node a
+        # container can burst to the full resource, under contention it
+        # is squeezed to its proportional share.
+        shares: dict[str, dict[str, float]] = {}
+        for node in self.nodes.values():
+            members = [
+                inst for inst in all_instances if inst.container.node == node.name
+            ]
+            if not members:
+                continue
+            quotas = np.array(
+                [
+                    inst.container.cpu_cgroup.quota_cores
+                    if inst.container.cpu_cgroup.quota_cores is not None
+                    else float(node.spec.cores)
+                    for inst in members
+                ]
+            )
+            raw_cpu = np.array(
+                [demands[inst.container.name].cpu_cores for inst in members]
+            )
+            cpu_capacity = _work_conserving_capacity(
+                np.minimum(raw_cpu, quotas), float(node.spec.cores)
+            )
+            cpu_capacity = np.minimum(cpu_capacity, quotas)
+
+            disk_demand = np.array(
+                [
+                    demands[inst.container.name].disk_bytes
+                    for inst in members
+                ]
+            )
+            disk_capacity = _work_conserving_capacity(
+                disk_demand, node.spec.disk_bandwidth
+            )
+            random_demand = np.array(
+                [demands[inst.container.name].random_disk_bytes for inst in members]
+            )
+            random_capacity = _work_conserving_capacity(
+                random_demand, node.spec.disk_random_bandwidth
+            )
+            net_demand = np.array(
+                [demands[inst.container.name].network_bytes for inst in members]
+            )
+            net_capacity = _work_conserving_capacity(
+                net_demand, node.spec.network_bandwidth
+            )
+            membw_demand = np.array(
+                [
+                    demands[inst.container.name].memory_bandwidth_bytes
+                    for inst in members
+                ]
+            )
+            membw_capacity = _work_conserving_capacity(
+                membw_demand, node.spec.memory_bandwidth
+            )
+            for i, inst in enumerate(members):
+                shares[inst.container.name] = {
+                    "cpu": cpu_capacity[i],
+                    "disk": disk_capacity[i],
+                    "random_disk": random_capacity[i],
+                    "net": net_capacity[i],
+                    "membw": membw_capacity[i],
+                }
+
+        # Pass 3: resolve performance and record container ticks.
+        per_app_service: dict[str, dict[str, list]] = {
+            app: {service: [] for service in dep.instances}
+            for app, dep in self.deployments.items()
+        }
+        for instance in all_instances:
+            name = instance.container.name
+            demand = demands[name]
+            mem_account = memory[name]
+            share = shares[name]
+            performance = instance.runtime.resolve(
+                demand,
+                cpu_capacity=share["cpu"],
+                disk_capacity=share["disk"],
+                random_disk_capacity=share["random_disk"],
+                network_capacity=share["net"],
+                memory_bandwidth_capacity=share["membw"],
+                memory_utilization=mem_account.limit_utilization,
+            )
+            cpu_account = instance.container.cpu_cgroup.account(
+                demand.cpu_cores, share["cpu"]
+            )
+            spec = instance.runtime.spec
+            tick = ContainerTick(
+                cpu=cpu_account,
+                memory=mem_account,
+                disk_read_bytes=performance.throughput * spec.disk_read_bytes
+                + mem_account.page_in_bytes * spec.thrash_amplification,
+                disk_write_bytes=performance.throughput * spec.disk_write_bytes,
+                network_rx_bytes=performance.throughput * spec.net_in_bytes,
+                network_tx_bytes=performance.throughput * spec.net_out_bytes,
+                tcp_connections=max(performance.concurrency, 0.0) + 2.0,
+                processes=4.0 + 0.05 * performance.concurrency,
+                throughput=performance.throughput,
+                response_time=performance.response_time,
+                dropped=performance.dropped,
+                bottleneck=str(performance.bottleneck),
+                max_utilization=performance.max_utilization,
+            )
+            instance.container.record(tick)
+            per_app_service[instance.application][instance.service].append(
+                performance
+            )
+
+        # Pass 4: application KPIs.
+        for app_name, deployment in self.deployments.items():
+            throughput, response, dropped = deployment.application.end_to_end(
+                per_app_service[app_name]
+            )
+            offered = float(arrivals.get(app_name, 0.0))
+            kpis = self._kpis[app_name]
+            kpis["offered"].append(offered)
+            kpis["throughput"].append(min(throughput, offered))
+            kpis["response_time"].append(response)
+            kpis["dropped"].append(dropped)
+
+        self.clock += 1
+
+    def run(self, workloads: dict[str, np.ndarray]) -> SimulationResult:
+        """Run every tick of the given per-application workload series."""
+        lengths = {len(series) for series in workloads.values()}
+        if len(lengths) != 1:
+            raise ValueError("All workload series must have equal length.")
+        duration = lengths.pop()
+        for t in range(duration):
+            self.step({app: float(series[t]) for app, series in workloads.items()})
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Snapshot of everything recorded so far."""
+        applications = {
+            app: {key: np.asarray(values) for key, values in kpis.items()}
+            for app, kpis in self._kpis.items()
+        }
+        containers = [
+            instance.container
+            for deployment in self.deployments.values()
+            for replicas in deployment.instances.values()
+            for instance in replicas
+        ]
+        return SimulationResult(
+            duration=self.clock,
+            applications=applications,
+            containers=containers,
+            nodes=self.nodes,
+        )
+
+
+def _work_conserving_capacity(demands: np.ndarray, total: float) -> np.ndarray:
+    """Usable capacity per consumer: fair-share grant + idle headroom.
+
+    With total demand below ``total``, every consumer could addit-
+    ionally claim the idle remainder, so its utilization stays below 1;
+    once the resource is oversubscribed the idle term vanishes and
+    every consumer sees its proportional squeeze (utilization > 1).
+    """
+    granted = fair_share(demands, total)
+    idle = max(0.0, total - float(granted.sum()))
+    return granted + idle

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the *monitorless* method.
+
+- :mod:`repro.core.labeling` -- KPI knee detection (Savitzky-Golay +
+  Kneedle) producing the saturation threshold :math:`\\Upsilon` and
+  binary ground-truth labels (paper section 2.2).
+- :mod:`repro.core.features` -- the 6-step feature-engineering
+  pipeline: binary utilization levels, log scaling, standardization,
+  random-forest / PCA reduction, temporal AVG/LAG features and
+  multiplicative cross-domain interactions (section 3.3).
+- :mod:`repro.core.model` -- :class:`MonitorlessModel`, the trained
+  saturation classifier facade.
+- :mod:`repro.core.aggregation` -- per-application aggregation of
+  per-instance predictions (logical OR, section 4).
+- :mod:`repro.core.thresholds` -- the optimally-tuned static-threshold
+  baselines (CPU / MEM / CPU-OR-MEM / CPU-AND-MEM).
+- :mod:`repro.core.evaluation` -- lag-tolerant confusion counts and
+  the :math:`F1_2` / :math:`Acc_2` scores (section 4, "lagged metrics").
+"""
+
+from repro.core.adaptation import CoralAligner, ImportanceWeighter
+from repro.core.aggregation import aggregate_or
+from repro.core.evaluation import LaggedConfusion, lagged_confusion
+from repro.core.interpret import LimeExplainer, SurrogateTree
+from repro.core.labeling import KneedleLabeler, MultiLevelLabeler, kneedle
+from repro.core.model import MonitorlessModel
+
+__all__ = [
+    "MonitorlessModel",
+    "KneedleLabeler",
+    "MultiLevelLabeler",
+    "kneedle",
+    "LaggedConfusion",
+    "lagged_confusion",
+    "aggregate_or",
+    "CoralAligner",
+    "ImportanceWeighter",
+    "SurrogateTree",
+    "LimeExplainer",
+]

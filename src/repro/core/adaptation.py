@@ -1,0 +1,163 @@
+"""Domain adaptation for unseen applications (paper section 5,
+"Calibration").
+
+Monitorless may face applications whose resource-usage patterns differ
+substantially from the training services.  The paper proposes
+experimenting with *unsupervised* domain adaptation -- no labels exist
+in the target domain.  Two standard techniques are provided:
+
+- :class:`CoralAligner` -- CORrelation ALignment (Sun et al., 2016):
+  whiten the source feature covariance and re-color it with the target
+  covariance, so the classifier trains on features whose second-order
+  statistics match the deployment domain.
+- :class:`ImportanceWeighter` -- covariate-shift correction: estimate
+  ``p_target(x) / p_source(x)`` with a logistic domain discriminator
+  and re-train the classifier with those weights, emphasising training
+  samples that look like the target domain.
+
+Both operate on *engineered* features (post-pipeline) and need only
+unlabeled target-domain samples, which any deployment produces for
+free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_is_fitted
+from repro.ml.linear import LogisticRegression
+
+__all__ = ["CoralAligner", "ImportanceWeighter"]
+
+
+def _regularized_covariance(X: np.ndarray, eps: float) -> np.ndarray:
+    centered = X - X.mean(axis=0)
+    denominator = max(X.shape[0] - 1, 1)
+    return centered.T @ centered / denominator + eps * np.eye(X.shape[1])
+
+
+def _matrix_power(matrix: np.ndarray, power: float) -> np.ndarray:
+    """Symmetric PSD matrix power via eigendecomposition."""
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues = np.maximum(eigenvalues, 1e-12)
+    return (eigenvectors * eigenvalues**power) @ eigenvectors.T
+
+
+class CoralAligner(BaseEstimator):
+    """CORAL: align source second-order statistics to the target's.
+
+    ``fit(source, target)`` learns the whitening/re-coloring transform
+    ``A = C_s^{-1/2} C_t^{1/2}``; ``transform`` maps source-domain
+    features into the target domain.  Train the classifier on
+    ``transform(X_source)`` and predict on raw target features.
+    """
+
+    def __init__(self, eps: float = 1e-3):
+        if eps <= 0:
+            raise ValueError("eps must be positive.")
+        self.eps = eps
+
+    def fit(self, X_source, X_target) -> "CoralAligner":
+        X_source = check_array(X_source)
+        X_target = check_array(X_target)
+        if X_source.shape[1] != X_target.shape[1]:
+            raise ValueError("Source and target must share the feature space.")
+        source_cov = _regularized_covariance(X_source, self.eps)
+        target_cov = _regularized_covariance(X_target, self.eps)
+        self.transform_ = _matrix_power(source_cov, -0.5) @ _matrix_power(
+            target_cov, 0.5
+        )
+        self.source_mean_ = X_source.mean(axis=0)
+        self.target_mean_ = X_target.mean(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Map source-domain samples into the target domain."""
+        check_is_fitted(self, "transform_")
+        X = check_array(X)
+        return (X - self.source_mean_) @ self.transform_ + self.target_mean_
+
+    def fit_transform(self, X_source, X_target) -> np.ndarray:
+        return self.fit(X_source, X_target).transform(X_source)
+
+    def alignment_distance(self, X_source, X_target) -> float:
+        """Frobenius distance between domain covariances (diagnostic).
+
+        Large values indicate a domain gap worth adapting for; after
+        ``transform`` the distance should shrink substantially.
+        """
+        source_cov = _regularized_covariance(check_array(X_source), self.eps)
+        target_cov = _regularized_covariance(check_array(X_target), self.eps)
+        return float(np.linalg.norm(source_cov - target_cov, ord="fro"))
+
+
+class ImportanceWeighter(BaseEstimator):
+    """Covariate-shift sample weights from a domain discriminator.
+
+    A logistic regression is trained to distinguish source (label 0)
+    from target (label 1) samples; the density ratio
+    ``p_t(x)/p_s(x) = p(target|x) / (1 - p(target|x)) * n_s/n_t``
+    becomes a per-sample training weight, clipped to
+    ``[1/max_weight, max_weight]`` for stability.
+    """
+
+    def __init__(self, max_weight: float = 10.0, max_iter: int = 30,
+                 random_state=0):
+        if max_weight <= 1.0:
+            raise ValueError("max_weight must exceed 1.")
+        self.max_weight = max_weight
+        self.max_iter = max_iter
+        self.random_state = random_state
+
+    def fit(self, X_source, X_target) -> "ImportanceWeighter":
+        X_source = check_array(X_source)
+        X_target = check_array(X_target)
+        if X_source.shape[1] != X_target.shape[1]:
+            raise ValueError("Source and target must share the feature space.")
+        X = np.vstack([X_source, X_target])
+        domain = np.concatenate(
+            [np.zeros(len(X_source)), np.ones(len(X_target))]
+        )
+        # Standardize for the linear discriminator's benefit.
+        self.center_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        # Strong regularisation: the discriminator should only pick up
+        # systematic domain shift, not sampling noise (which would turn
+        # into spurious weight spread).
+        self.discriminator_ = LogisticRegression(
+            C=0.05, max_iter=self.max_iter, random_state=self.random_state
+        )
+        self.discriminator_.fit((X - self.center_) / self.scale_, domain)
+        self.ratio_correction_ = len(X_source) / max(len(X_target), 1)
+        return self
+
+    def weights(self, X_source) -> np.ndarray:
+        """Importance weights for the given source samples."""
+        check_is_fitted(self, "discriminator_")
+        X_source = check_array(X_source)
+        probability = self.discriminator_.predict_proba(
+            (X_source - self.center_) / self.scale_
+        )[:, 1]
+        probability = np.clip(probability, 1e-6, 1 - 1e-6)
+        ratio = probability / (1.0 - probability) * self.ratio_correction_
+        ratio = np.clip(ratio, 1.0 / self.max_weight, self.max_weight)
+        # Normalise to mean 1 so the effective training size is unchanged.
+        return ratio / ratio.mean()
+
+    def domain_separability(self, X_source, X_target) -> float:
+        """Discriminator accuracy on held-in data (diagnostic).
+
+        ~0.5 means the domains are indistinguishable (no shift);
+        ~1.0 means a severe domain gap.
+        """
+        check_is_fitted(self, "discriminator_")
+        X = np.vstack([check_array(X_source), check_array(X_target)])
+        domain = np.concatenate(
+            [np.zeros(len(X_source)), np.ones(len(X_target))]
+        )
+        predictions = self.discriminator_.predict(
+            (X - self.center_) / self.scale_
+        )
+        return float(np.mean(predictions == domain))

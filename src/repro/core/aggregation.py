@@ -1,0 +1,55 @@
+"""Application-level aggregation of per-instance predictions (section 4).
+
+Monitorless predicts saturation per service instance; the application
+verdict for scaling is the logical OR over all instances:
+
+    y_hat(A, t) = OR over I in S, S in A of y_hat(I, t)
+
+OR is appropriate for scaling (a saturated component should be scaled
+even if end-to-end latency has not degraded yet) but generates more
+false positives as the number of services grows -- the Sockshop
+experiment (section 4.2.3) motivates alternative aggregators, provided
+here for ablation: majority vote and k-of-n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["aggregate_or", "aggregate_majority", "aggregate_k_of_n", "stack_predictions"]
+
+
+def stack_predictions(per_instance: dict[str, np.ndarray] | list[np.ndarray]) -> np.ndarray:
+    """Stack per-instance 0/1 series into an (n_instances, n_samples) array."""
+    series = (
+        list(per_instance.values())
+        if isinstance(per_instance, dict)
+        else list(per_instance)
+    )
+    if not series:
+        raise ValueError("Need at least one instance prediction series.")
+    arrays = [np.asarray(s).ravel().astype(np.int64) for s in series]
+    lengths = {a.shape[0] for a in arrays}
+    if len(lengths) != 1:
+        raise ValueError(f"Instance series have mismatched lengths: {sorted(lengths)}.")
+    return np.vstack(arrays)
+
+
+def aggregate_or(per_instance) -> np.ndarray:
+    """Application is saturated iff any instance is (the paper's rule)."""
+    stacked = stack_predictions(per_instance)
+    return stacked.max(axis=0)
+
+
+def aggregate_majority(per_instance) -> np.ndarray:
+    """Application is saturated iff more than half the instances are."""
+    stacked = stack_predictions(per_instance)
+    return (stacked.sum(axis=0) * 2 > stacked.shape[0]).astype(np.int64)
+
+
+def aggregate_k_of_n(per_instance, k: int) -> np.ndarray:
+    """Application is saturated iff at least ``k`` instances are."""
+    if k < 1:
+        raise ValueError("k must be >= 1.")
+    stacked = stack_predictions(per_instance)
+    return (stacked.sum(axis=0) >= k).astype(np.int64)

@@ -1,0 +1,121 @@
+"""Lag-tolerant evaluation metrics (paper section 4, "Metrics").
+
+Saturated applications answer slowly, so platform metrics and the
+ground-truth KPI labels drift apart by a second or two.  The paper
+therefore scores with *lagged* confusion counts at distance ``k``:
+
+- a raw false positive at time ``t`` counts as a true negative
+  (``TN_k``) if a ground-truth "saturated" sample occurs within
+  ``[t+1, t+k]`` -- the early warning was correct, just early;
+- a raw false negative at time ``t`` counts as a true positive
+  (``TP_k``) if a positive *prediction* occurred within ``[t-k, t-1]``
+  -- the saturation was flagged, just earlier than the label;
+- a *late* prediction (after the client already observed saturation)
+  stays incorrect.
+
+The paper uses ``k=2`` (bounded by its 3-second peak response times)
+and reports ``F1_2`` and ``Acc_2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LaggedConfusion", "lagged_confusion", "f1_lagged", "accuracy_lagged"]
+
+
+@dataclass(frozen=True)
+class LaggedConfusion:
+    """Lag-tolerant confusion counts and derived scores."""
+
+    tn: int
+    fp: int
+    fn: int
+    tp: int
+    k: int
+
+    @property
+    def f1(self) -> float:
+        """Sorensen-Dice coefficient ``2TP / (2TP + FP + FN)``."""
+        denominator = 2 * self.tp + self.fp + self.fn
+        return 2 * self.tp / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tn + self.fp + self.fn + self.tp
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        """Row in the shape of the paper's Tables 5/6/8."""
+        return {
+            f"TN_{self.k}": self.tn,
+            f"FP_{self.k}": self.fp,
+            f"FN_{self.k}": self.fn,
+            f"TP_{self.k}": self.tp,
+            f"F1_{self.k}": round(self.f1, 3),
+            f"Acc_{self.k}": round(self.accuracy, 3),
+        }
+
+
+def lagged_confusion(y_true, y_pred, k: int = 2) -> LaggedConfusion:
+    """Compute ``TN_k / FP_k / FN_k / TP_k`` for binary label series.
+
+    ``y_true`` and ``y_pred`` must be time-ordered 0/1 arrays sampled at
+    the same interval.  ``k=0`` degenerates to the ordinary confusion
+    counts.
+    """
+    y_true = np.asarray(y_true).ravel().astype(np.int64)
+    y_pred = np.asarray(y_pred).ravel().astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length.")
+    if k < 0:
+        raise ValueError("k must be non-negative.")
+    invalid = set(np.unique(np.concatenate([y_true, y_pred]))) - {0, 1}
+    if invalid:
+        raise ValueError(f"Labels must be binary 0/1; found {sorted(invalid)}.")
+
+    n = y_true.size
+    truth = y_true.astype(bool)
+    predicted = y_pred.astype(bool)
+
+    # saturation_ahead[t]: any ground-truth saturation in [t+1, t+k].
+    # prediction_behind[t]: any positive prediction in [t-k, t-1].
+    saturation_ahead = np.zeros(n, dtype=bool)
+    prediction_behind = np.zeros(n, dtype=bool)
+    for offset in range(1, k + 1):
+        if offset < n:
+            saturation_ahead[:-offset] |= truth[offset:]
+            prediction_behind[offset:] |= predicted[:-offset]
+
+    raw_fp = ~truth & predicted
+    raw_fn = truth & ~predicted
+    forgiven_fp = raw_fp & saturation_ahead  # early warning -> TN_k
+    forgiven_fn = raw_fn & prediction_behind  # early detection -> TP_k
+
+    tp = int(np.sum(truth & predicted)) + int(np.sum(forgiven_fn))
+    tn = int(np.sum(~truth & ~predicted)) + int(np.sum(forgiven_fp))
+    fp = int(np.sum(raw_fp)) - int(np.sum(forgiven_fp))
+    fn = int(np.sum(raw_fn)) - int(np.sum(forgiven_fn))
+    return LaggedConfusion(tn=tn, fp=fp, fn=fn, tp=tp, k=k)
+
+
+def f1_lagged(y_true, y_pred, k: int = 2) -> float:
+    """Convenience wrapper returning only :math:`F1_k`."""
+    return lagged_confusion(y_true, y_pred, k).f1
+
+
+def accuracy_lagged(y_true, y_pred, k: int = 2) -> float:
+    """Convenience wrapper returning only :math:`Acc_k`."""
+    return lagged_confusion(y_true, y_pred, k).accuracy

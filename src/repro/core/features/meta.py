@@ -1,0 +1,115 @@
+"""Per-feature metadata carried alongside the numeric matrix.
+
+Each column of the training matrix corresponds to one
+:class:`FeatureMeta` describing its origin (host vs container), its
+resource domain (CPU, memory, ...) and its semantics (utilization,
+byte-valued, binary, temporal, interaction).  The feature-engineering
+steps dispatch on this metadata: e.g. the binary-level step only
+applies to utilization columns, the log-scaling step only to
+byte-valued columns, and the interaction step only multiplies columns
+from *different* domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["Domain", "Scope", "FeatureMeta", "infer_domain"]
+
+
+class Domain(str, enum.Enum):
+    """Resource domain of a platform metric."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    NETWORK = "network"
+    DISK = "disk"
+    FILESYSTEM = "filesystem"
+    KERNEL = "kernel"
+    OTHER = "other"
+    LATENT = "latent"  # post-PCA components have no physical domain
+
+
+class Scope(str, enum.Enum):
+    """Whether a metric describes the host or one container."""
+
+    HOST = "host"
+    CONTAINER = "container"
+
+
+# Longest-prefix rules mapping PCP metric names to domains.
+_PREFIX_DOMAINS: list[tuple[str, Domain]] = [
+    ("kernel.all.cpu", Domain.CPU),
+    ("kernel.percpu.cpu", Domain.CPU),
+    ("hinv.ncpu", Domain.CPU),
+    ("cgroup.cpusched", Domain.CPU),
+    ("cgroup.cpuacct", Domain.CPU),
+    ("cgroup.cpu", Domain.CPU),
+    ("cgroup.memory", Domain.MEMORY),
+    ("cgroup.blkio", Domain.DISK),
+    ("mem.", Domain.MEMORY),
+    ("swap.", Domain.MEMORY),
+    ("network.", Domain.NETWORK),
+    ("hinv.ninterface", Domain.NETWORK),
+    ("disk.", Domain.DISK),
+    ("vfs.", Domain.FILESYSTEM),
+    ("filesys.", Domain.FILESYSTEM),
+    ("kernel.", Domain.KERNEL),
+    ("proc.", Domain.KERNEL),
+]
+
+
+def infer_domain(metric_name: str) -> Domain:
+    """Best-effort domain from a PCP-style dotted metric name."""
+    for prefix, domain in _PREFIX_DOMAINS:
+        if metric_name.startswith(prefix):
+            return domain
+    return Domain.OTHER
+
+
+@dataclass(frozen=True)
+class FeatureMeta:
+    """Immutable description of one feature column.
+
+    Attributes
+    ----------
+    name:
+        Human-readable feature name; engineered features compose names
+        the way the paper's Table 4 does (``a x b``, ``...-AVG4``,
+        ``...-LAGGED15``).
+    domain:
+        Resource domain used by the interaction step.
+    scope:
+        Host- or container-level.
+    utilization:
+        True for metrics on a relative 0-100 scale (binary-level step
+        applies to CPU/memory utilization only).
+    bytes_like:
+        True for byte-valued metrics without a known maximum (log-scale
+        step applies).
+    binary:
+        True for hot-encoded level features.
+    temporal:
+        True for AVG/LAG-derived features (excluded from interactions).
+    interaction:
+        True for multiplicative features.
+    """
+
+    name: str
+    domain: Domain = Domain.OTHER
+    scope: Scope = Scope.HOST
+    utilization: bool = False
+    bytes_like: bool = False
+    binary: bool = False
+    temporal: bool = False
+    interaction: bool = False
+
+    def derived(self, suffix: str, **changes) -> "FeatureMeta":
+        """A copy of this meta renamed with ``suffix`` and updated flags."""
+        return replace(self, name=f"{self.name}{suffix}", **changes)
+
+    @staticmethod
+    def latent(index: int) -> "FeatureMeta":
+        """Meta for a PCA component (no physical interpretation)."""
+        return FeatureMeta(name=f"PC-{index}", domain=Domain.LATENT)

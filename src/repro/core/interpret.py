@@ -1,0 +1,218 @@
+"""Model interpretability (paper section 5, "Interpretability").
+
+Two tools the paper proposes for turning the forest into something an
+application developer can read:
+
+- :class:`SurrogateTree` -- distill the model into a depth-restricted
+  decision tree trained on the model's *own predictions*, then render
+  its paths as human-readable scaling rules
+  ("IF C-CPU-VERYHIGH > 0.5 AND network.tcp.currestab > 103 THEN
+  saturated").
+- :class:`LimeExplainer` -- LIME-style local explanations (Ribeiro et
+  al., 2016): perturb one sample, query the model, and fit a weighted
+  sparse linear model whose coefficients rank the locally most
+  influential platform metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import check_array, check_random_state
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["ScalingRule", "SurrogateTree", "LimeExplanation", "LimeExplainer"]
+
+
+@dataclass(frozen=True)
+class ScalingRule:
+    """One root-to-leaf path of the surrogate tree."""
+
+    conditions: tuple[str, ...]
+    prediction: int  # 1 = saturated
+    confidence: float  # leaf purity
+    support: float  # fraction of training samples reaching the leaf
+
+    def __str__(self) -> str:
+        verdict = "saturated" if self.prediction == 1 else "not saturated"
+        clause = " AND ".join(self.conditions) if self.conditions else "TRUE"
+        return (
+            f"IF {clause} THEN {verdict} "
+            f"(confidence {self.confidence:.2f}, support {self.support:.2f})"
+        )
+
+
+class SurrogateTree:
+    """Distill a black-box saturation model into readable rules.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth restriction; 3-4 keeps rules short enough to read.
+    min_samples_leaf:
+        Minimum support per rule.
+    """
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 20,
+                 random_state=0):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+
+    def fit(
+        self,
+        X: np.ndarray,
+        model_predictions: np.ndarray,
+        feature_names: list[str],
+    ) -> "SurrogateTree":
+        """Fit the surrogate on the *model's* predictions (not labels)."""
+        X = check_array(X)
+        model_predictions = np.asarray(model_predictions).ravel()
+        if X.shape[0] != model_predictions.shape[0]:
+            raise ValueError("X and model_predictions must align.")
+        if X.shape[1] != len(feature_names):
+            raise ValueError("feature_names must describe every column.")
+        self.feature_names_ = list(feature_names)
+        self.tree_ = DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            random_state=self.random_state,
+        )
+        self.tree_.fit(X, model_predictions)
+        self._n_samples = X.shape[0]
+        self._leaf_counts = np.bincount(
+            self.tree_._apply(X), minlength=self.tree_.n_nodes_
+        )
+        return self
+
+    def fidelity(self, X: np.ndarray, model_predictions: np.ndarray) -> float:
+        """Fraction of samples where surrogate and model agree."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("SurrogateTree must be fitted first.")
+        return float(
+            np.mean(self.tree_.predict(check_array(X)) ==
+                    np.asarray(model_predictions).ravel())
+        )
+
+    def rules(self) -> list[ScalingRule]:
+        """All root-to-leaf paths as scaling rules, saturated first."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("SurrogateTree must be fitted first.")
+        tree = self.tree_
+        rules: list[ScalingRule] = []
+
+        def walk(node: int, conditions: list[str]) -> None:
+            if tree.tree_feature_[node] == -1:
+                distribution = tree.tree_value_[node]
+                prediction = int(tree.classes_[np.argmax(distribution)])
+                rules.append(
+                    ScalingRule(
+                        conditions=tuple(conditions),
+                        prediction=prediction,
+                        confidence=float(np.max(distribution)),
+                        support=float(
+                            self._leaf_counts[node] / max(self._n_samples, 1)
+                        ),
+                    )
+                )
+                return
+            name = self.feature_names_[tree.tree_feature_[node]]
+            threshold = tree.tree_threshold_[node]
+            walk(
+                tree.tree_left_[node],
+                conditions + [f"{name} <= {threshold:.3g}"],
+            )
+            walk(
+                tree.tree_right_[node],
+                conditions + [f"{name} > {threshold:.3g}"],
+            )
+
+        walk(0, [])
+        rules.sort(key=lambda rule: (-rule.prediction, -rule.support))
+        return rules
+
+
+@dataclass(frozen=True)
+class LimeExplanation:
+    """A local explanation for one sample."""
+
+    feature_weights: tuple[tuple[str, float], ...]  # sorted by |weight|
+    local_prediction: float
+    model_prediction: float
+    intercept: float
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        return list(self.feature_weights[:k])
+
+
+class LimeExplainer:
+    """Perturbation-based local linear explanations.
+
+    For a sample ``x``: draw Gaussian perturbations around ``x``
+    (scaled by the training-data standard deviation), query the model's
+    saturation probability, weight perturbations by an RBF proximity
+    kernel, and fit ridge-regularised weighted least squares.  The
+    coefficients are the local feature influences.
+    """
+
+    def __init__(
+        self,
+        training_data: np.ndarray,
+        feature_names: list[str],
+        n_samples: int = 500,
+        kernel_width: float | None = None,
+        ridge: float = 1e-3,
+        random_state=0,
+    ):
+        training_data = check_array(training_data)
+        if training_data.shape[1] != len(feature_names):
+            raise ValueError("feature_names must describe every column.")
+        self.feature_names = list(feature_names)
+        self.scale_ = training_data.std(axis=0)
+        self.scale_[self.scale_ == 0.0] = 1.0
+        self.n_samples = n_samples
+        d = training_data.shape[1]
+        self.kernel_width = kernel_width or np.sqrt(d) * 0.75
+        self.ridge = ridge
+        self.random_state = random_state
+
+    def explain(self, x: np.ndarray, predict_proba) -> LimeExplanation:
+        """Explain ``predict_proba`` (positive-class probability) at ``x``.
+
+        ``predict_proba`` maps an ``(n, d)`` matrix to an ``(n,)``
+        probability vector.
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != len(self.feature_names):
+            raise ValueError("x has the wrong dimensionality.")
+        rng = check_random_state(self.random_state)
+        noise = rng.normal(size=(self.n_samples, x.shape[0]))
+        perturbed = x + noise * self.scale_
+        perturbed[0] = x  # include the anchor itself
+
+        probabilities = np.asarray(predict_proba(perturbed), dtype=np.float64)
+        normalized_distance = np.linalg.norm(noise, axis=1)
+        weights = np.exp(-(normalized_distance**2) / self.kernel_width**2)
+
+        # Weighted ridge regression in standardized coordinates.
+        Z = (perturbed - x) / self.scale_
+        W = weights
+        A = Z.T @ (Z * W[:, None]) + self.ridge * np.eye(Z.shape[1])
+        b = Z.T @ (W * probabilities)
+        coefficients = np.linalg.solve(A, b)
+        intercept = float(
+            np.average(probabilities - Z @ coefficients, weights=W)
+        )
+
+        order = np.argsort(np.abs(coefficients))[::-1]
+        ranked = tuple(
+            (self.feature_names[i], float(coefficients[i])) for i in order
+        )
+        return LimeExplanation(
+            feature_weights=ranked,
+            local_prediction=float(intercept),
+            model_prediction=float(probabilities[0]),
+            intercept=intercept,
+        )

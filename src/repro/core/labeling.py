@@ -1,0 +1,311 @@
+"""Ground-truth labeling of resource saturation (paper section 2.2).
+
+A service driven by a linearly-increasing workload shows a KPI (e.g.
+throughput) that rises proportionally until a saturation knee, after
+which it flattens.  The paper finds that knee with the *Kneedle*
+algorithm (Satopaa et al., 2011) applied to a Savitzky-Golay-smoothed
+curve:
+
+1. smooth ``f(alpha) = beta`` with a Savitzky-Golay filter;
+2. normalize both axes to the unit square;
+3. compute the difference curve ``beta_i - alpha_i``;
+4. candidate knees are the local maxima of that curve; the chosen
+   maximum's KPI value is the saturation threshold ``Upsilon``.
+
+Samples with KPI above ``Upsilon`` are labeled saturated (1), the rest
+non-saturated (0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import savgol_filter
+
+__all__ = [
+    "KneeResult",
+    "kneedle",
+    "KneedleLabeler",
+    "MultiLevelLabeler",
+    "savitzky_golay",
+]
+
+
+def savitzky_golay(
+    values: np.ndarray, window_length: int = 11, polyorder: int = 3
+) -> np.ndarray:
+    """Savitzky-Golay smoothing with defensive window handling.
+
+    The window is clipped to the series length (and forced odd), so
+    short calibration runs do not crash the labeler.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("savitzky_golay expects a 1-D series.")
+    n = values.size
+    if n < 3:
+        return values.copy()
+    window = min(window_length, n if n % 2 == 1 else n - 1)
+    if window % 2 == 0:
+        window -= 1
+    window = max(window, 3)
+    order = min(polyorder, window - 1)
+    return savgol_filter(values, window_length=window, polyorder=order)
+
+
+def _normalize_unit(values: np.ndarray) -> np.ndarray:
+    low, high = float(np.min(values)), float(np.max(values))
+    if high == low:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def _local_maxima(values: np.ndarray) -> np.ndarray:
+    """Indices of strict-or-plateau local maxima of a 1-D series."""
+    n = values.size
+    if n < 3:
+        return np.array([], dtype=np.int64)
+    left = np.r_[True, values[1:] >= values[:-1]]
+    right = np.r_[values[:-1] >= values[1:], True]
+    interior = np.zeros(n, dtype=bool)
+    interior[1:-1] = True
+    candidates = left & right & interior
+    # Collapse plateaus to their first index.
+    indices = np.flatnonzero(candidates)
+    if indices.size == 0:
+        return indices
+    keep = [indices[0]]
+    for idx in indices[1:]:
+        if idx != keep[-1] + 1 or values[idx] != values[keep[-1]]:
+            keep.append(idx)
+    return np.asarray(keep, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """Outcome of one Kneedle run.
+
+    Attributes
+    ----------
+    knee_index:
+        Index of the chosen knee in the input arrays.
+    knee_x, knee_y:
+        Workload intensity and raw KPI value at the knee (``knee_y`` is
+        the saturation threshold :math:`\\Upsilon`).
+    smoothed:
+        The Savitzky-Golay-smoothed KPI curve.
+    difference:
+        The normalized difference curve ``beta - alpha``.
+    candidates:
+        Indices of all local maxima of the difference curve.
+    """
+
+    knee_index: int
+    knee_x: float
+    knee_y: float
+    smoothed: np.ndarray
+    difference: np.ndarray
+    candidates: np.ndarray
+
+
+def kneedle(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    window_length: int = 11,
+    polyorder: int = 3,
+    concave_down: bool = False,
+    choose: int | None = None,
+) -> KneeResult:
+    """Find the knee of a KPI-vs-workload curve.
+
+    Parameters
+    ----------
+    x, y:
+        Workload intensity and observed KPI.
+    concave_down:
+        Set when the curve has negative concavity; the paper flips
+        both axes (``v <- max(v) - v``) and applies the same method.
+    choose:
+        The paper "manually chooses" among candidate local maxima; pass
+        an index into ``result.candidates`` to override the default of
+        taking the global maximum of the difference curve.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length.")
+    if x.size < 5:
+        raise ValueError("Need at least 5 points to locate a knee.")
+
+    smoothed = savitzky_golay(y, window_length, polyorder)
+    x_work = x.copy()
+    y_work = smoothed.copy()
+    if concave_down:
+        x_work = np.max(x_work) - x_work
+        y_work = np.max(y_work) - y_work
+
+    alpha = _normalize_unit(x_work)
+    beta = _normalize_unit(y_work)
+    difference = beta - alpha
+
+    candidates = _local_maxima(difference)
+    if candidates.size == 0:
+        # Degenerate (e.g. perfectly linear) curve: fall back to the
+        # global maximum of the difference curve.
+        knee_index = int(np.argmax(difference))
+        candidates = np.asarray([knee_index], dtype=np.int64)
+    if choose is not None:
+        if not 0 <= choose < candidates.size:
+            raise ValueError(
+                f"choose={choose} out of range for {candidates.size} candidates."
+            )
+        knee_index = int(candidates[choose])
+    else:
+        knee_index = int(candidates[np.argmax(difference[candidates])])
+
+    return KneeResult(
+        knee_index=knee_index,
+        knee_x=float(x[knee_index]),
+        knee_y=float(smoothed[knee_index]),
+        smoothed=smoothed,
+        difference=difference,
+        candidates=candidates,
+    )
+
+
+class KneedleLabeler:
+    """Derive the saturation threshold from a linear-ramp calibration run
+    and label arbitrary KPI series against it.
+
+    This is the paper's :math:`\\tilde{\\mathcal{P}}_{\\mathcal{A}}`:
+    ``label(t) = 1`` iff ``kpi(t) > Upsilon``.
+
+    Parameters
+    ----------
+    window_length, polyorder:
+        Savitzky-Golay settings (tunable per the paper; visual
+        inspection recommended).
+    concave_down:
+        Whether the KPI decreases with load (e.g. availability) rather
+        than increasing (e.g. throughput).
+    margin:
+        Relative slack applied to the knee value: a saturated system's
+        throughput sits *at* capacity, i.e. essentially at the knee, so
+        the decision threshold is placed ``margin`` below it (above it
+        for concave-down KPIs) to keep capacity-pinned samples on the
+        saturated side of the measurement noise.
+    """
+
+    def __init__(
+        self,
+        window_length: int = 11,
+        polyorder: int = 3,
+        concave_down: bool = False,
+        margin: float = 0.02,
+    ):
+        if not 0.0 <= margin < 1.0:
+            raise ValueError("margin must be in [0, 1).")
+        self.window_length = window_length
+        self.polyorder = polyorder
+        self.concave_down = concave_down
+        self.margin = margin
+        self.threshold_: float | None = None
+        self.knee_: KneeResult | None = None
+
+    def fit(self, workload: np.ndarray, kpi: np.ndarray, *, choose=None) -> "KneedleLabeler":
+        """Run Kneedle on a calibration ramp to obtain ``threshold_``."""
+        self.knee_ = kneedle(
+            workload,
+            kpi,
+            window_length=self.window_length,
+            polyorder=self.polyorder,
+            concave_down=self.concave_down,
+            choose=choose,
+        )
+        factor = (1.0 + self.margin) if self.concave_down else (1.0 - self.margin)
+        self.threshold_ = self.knee_.knee_y * factor
+        return self
+
+    def label(self, kpi: np.ndarray) -> np.ndarray:
+        """Binary saturation labels for a KPI series (1 = saturated)."""
+        if self.threshold_ is None:
+            raise RuntimeError("KneedleLabeler must be fitted first.")
+        kpi = np.asarray(kpi, dtype=np.float64)
+        if self.concave_down:
+            return (kpi < self.threshold_).astype(np.int64)
+        return (kpi > self.threshold_).astype(np.int64)
+
+    def fit_label(self, workload, kpi, *, choose=None) -> np.ndarray:
+        """Fit on the run and label the same run."""
+        return self.fit(workload, kpi, choose=choose).label(kpi)
+
+
+class MultiLevelLabeler:
+    """Multi-class saturation states (paper section 2.2's note that
+    "one can also apply more complex state descriptions based on
+    multiple classes").
+
+    Splits the KPI range below the Kneedle threshold into graded
+    levels: with ``levels=(0.7,)`` the classes are
+
+    - 0 (*normal*):    kpi <= 0.7 * Upsilon
+    - 1 (*warning*):   0.7 * Upsilon < kpi <= Upsilon
+    - 2 (*saturated*): kpi > Upsilon
+
+    Any strictly-increasing tuple of fractions in (0, 1) works; the
+    number of classes is ``len(levels) + 2``.
+    """
+
+    def __init__(
+        self,
+        levels: tuple[float, ...] = (0.7,),
+        window_length: int = 11,
+        polyorder: int = 3,
+        margin: float = 0.02,
+    ):
+        if not levels:
+            raise ValueError("levels must contain at least one fraction.")
+        if any(not 0.0 < level < 1.0 for level in levels):
+            raise ValueError("levels must be fractions in (0, 1).")
+        if list(levels) != sorted(set(levels)):
+            raise ValueError("levels must be strictly increasing.")
+        self.levels = tuple(levels)
+        self._binary = KneedleLabeler(
+            window_length=window_length, polyorder=polyorder, margin=margin
+        )
+        self.boundaries_: np.ndarray | None = None
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.levels) + 2
+
+    def fit(self, workload: np.ndarray, kpi: np.ndarray) -> "MultiLevelLabeler":
+        """Calibrate the saturation threshold and the graded boundaries."""
+        self._binary.fit(workload, kpi)
+        upsilon = self._binary.threshold_
+        self.boundaries_ = np.asarray(
+            [fraction * upsilon for fraction in self.levels] + [upsilon]
+        )
+        return self
+
+    @property
+    def threshold_(self) -> float:
+        if self.boundaries_ is None:
+            raise RuntimeError("MultiLevelLabeler must be fitted first.")
+        return float(self.boundaries_[-1])
+
+    def label(self, kpi: np.ndarray) -> np.ndarray:
+        """Class index per sample: 0 = normal ... n-1 = saturated."""
+        if self.boundaries_ is None:
+            raise RuntimeError("MultiLevelLabeler must be fitted first.")
+        kpi = np.asarray(kpi, dtype=np.float64)
+        return np.searchsorted(self.boundaries_, kpi, side="left").astype(
+            np.int64
+        )
+
+    def to_binary(self, labels: np.ndarray) -> np.ndarray:
+        """Collapse graded labels back to the paper's binary task."""
+        labels = np.asarray(labels)
+        return (labels >= self.n_classes - 1).astype(np.int64)

@@ -1,0 +1,242 @@
+"""The :class:`MonitorlessModel` facade: pipeline + classifier.
+
+Bundles the feature-engineering pipeline (section 3.3) with a binary
+saturation classifier (section 3.4) behind a small API:
+
+>>> model = MonitorlessModel()                      # doctest: +SKIP
+>>> model.fit(X_raw, meta, y, groups)               # doctest: +SKIP
+>>> saturated = model.predict(X_live, meta)         # doctest: +SKIP
+
+Six classifier families are supported, matching the paper's
+comparison; ``random_forest`` (the paper's winner) is the default with
+the paper's tuned hyper-parameters: 250 trees, ``min_samples_leaf=20``,
+information-gain splitting, no class weights.  The default prediction
+threshold of 0.4 implements the paper's FN-averse operating point.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.features.meta import FeatureMeta
+from repro.core.features.pipeline import MonitorlessPipeline, PipelineConfig
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbm import GradientBoostingClassifier
+from repro.ml.linear import LinearSVC, LogisticRegression
+from repro.ml.neural import MLPClassifier
+
+__all__ = ["MonitorlessModel", "CLASSIFIERS", "make_classifier"]
+
+# Factory defaults follow the paper's grid-search winners (Table 2,
+# underlined values).  Tree count / depth are scaled down from the
+# paper's testbed-sized values where noted; callers can override.
+CLASSIFIERS: dict[str, tuple[type, dict[str, Any]]] = {
+    "random_forest": (
+        RandomForestClassifier,
+        # Paper: n_estimators=250; reduced default for tractability on a
+        # single host -- benchmarks pass the paper value explicitly.
+        {
+            "n_estimators": 60,
+            "min_samples_leaf": 20,
+            "min_samples_split": 20,
+            "criterion": "entropy",
+            "class_weight": None,
+        },
+    ),
+    "xgboost": (
+        GradientBoostingClassifier,
+        # Paper: max_depth=64 (effectively unlimited); 12 is already
+        # effectively unlimited at our training sizes.
+        {"min_child_weight": 1.0, "max_depth": 12, "gamma": 0.0, "n_estimators": 60},
+    ),
+    "adaboost": (
+        AdaBoostClassifier,
+        {
+            "n_estimators": 50,
+            "algorithm": "SAMME.R",
+            "DT_criterion": "gini",
+            "DT_splitter": "best",
+            "DT_min_samples_split": 5,
+        },
+    ),
+    "logistic_regression": (
+        LogisticRegression,
+        {"C": 1.0, "tol": 0.1},
+    ),
+    "svc": (
+        LinearSVC,
+        {"C": 10.0, "tol": 0.01, "penalty": "l1"},
+    ),
+    "neural_net": (
+        MLPClassifier,
+        {
+            "activation_function1": "relu",
+            "activation_function2": "relu",
+            "activation_function3": "sigmoid",
+        },
+    ),
+}
+
+
+def make_classifier(name: str, random_state=0, **overrides):
+    """Instantiate one of the paper's six classifiers by name."""
+    if name not in CLASSIFIERS:
+        raise ValueError(
+            f"Unknown classifier {name!r}; choose from {sorted(CLASSIFIERS)}."
+        )
+    cls, defaults = CLASSIFIERS[name]
+    params = {**defaults, **overrides}
+    return cls(random_state=random_state, **params)
+
+
+class MonitorlessModel:
+    """End-to-end saturation predictor over raw platform metrics.
+
+    Parameters
+    ----------
+    pipeline_config:
+        Feature-engineering switches; defaults to the paper's chosen
+        configuration (normalize / filter / temporal+interactions /
+        filter).
+    classifier:
+        One of ``random_forest``, ``xgboost``, ``adaboost``,
+        ``logistic_regression``, ``svc``, ``neural_net``.
+    prediction_threshold:
+        Positive-class probability cutoff; 0.4 (the paper's value)
+        trades false positives for fewer false negatives.  Only
+        classifiers exposing ``predict_proba`` honour it; margin-based
+        classifiers fall back to their sign rule.
+    classifier_params:
+        Overrides forwarded to the classifier factory.
+    """
+
+    def __init__(
+        self,
+        pipeline_config: PipelineConfig | None = None,
+        classifier: str = "random_forest",
+        prediction_threshold: float = 0.4,
+        random_state=0,
+        classifier_params: dict[str, Any] | None = None,
+    ):
+        if not 0.0 < prediction_threshold < 1.0:
+            raise ValueError("prediction_threshold must be in (0, 1).")
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.classifier_name = classifier
+        self.prediction_threshold = prediction_threshold
+        self.random_state = random_state
+        self.classifier_params = dict(classifier_params or {})
+        self.pipeline_: MonitorlessPipeline | None = None
+        self.classifier_ = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        meta: Sequence[FeatureMeta],
+        y: np.ndarray,
+        groups: np.ndarray | None = None,
+    ) -> "MonitorlessModel":
+        """Fit pipeline and classifier on labeled raw metric samples.
+
+        ``groups`` carries the training-run id of each sample so that
+        temporal features and per-run feature filtering behave as in
+        the paper.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.int64)
+        self.pipeline_ = MonitorlessPipeline(
+            self.pipeline_config, random_state=self.random_state
+        )
+        X_features, _ = self.pipeline_.fit_transform(X, meta, y, groups)
+        self.classifier_ = make_classifier(
+            self.classifier_name,
+            random_state=self.random_state,
+            **self.classifier_params,
+        )
+        self.classifier_.fit(X_features, y)
+        self.n_engineered_features_ = X_features.shape[1]
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.pipeline_ is None or self.classifier_ is None:
+            raise RuntimeError("MonitorlessModel must be fitted first.")
+
+    def transform(
+        self, X: np.ndarray, meta: Sequence[FeatureMeta], groups=None
+    ) -> np.ndarray:
+        """Raw metrics -> engineered feature matrix."""
+        self._check_fitted()
+        features, _ = self.pipeline_.transform(
+            np.asarray(X, dtype=np.float64), meta, groups
+        )
+        return features
+
+    def predict_proba(
+        self, X: np.ndarray, meta: Sequence[FeatureMeta], groups=None
+    ) -> np.ndarray:
+        """Positive-class (saturation) probability per sample."""
+        self._check_fitted()
+        features = self.transform(X, meta, groups)
+        if not hasattr(self.classifier_, "predict_proba"):
+            raise AttributeError(
+                f"{self.classifier_name} exposes no probabilities; use predict()."
+            )
+        return self.classifier_.predict_proba(features)[:, 1]
+
+    def predict(
+        self, X: np.ndarray, meta: Sequence[FeatureMeta], groups=None
+    ) -> np.ndarray:
+        """Binary saturation prediction per sample (1 = saturated)."""
+        self._check_fitted()
+        features = self.transform(X, meta, groups)
+        if hasattr(self.classifier_, "predict_proba"):
+            positive = self.classifier_.predict_proba(features)[:, 1]
+            return (positive >= self.prediction_threshold).astype(np.int64)
+        return np.asarray(self.classifier_.predict(features)).astype(np.int64)
+
+    def feature_importances(self, top: int | None = None) -> list[tuple[str, float]]:
+        """(name, importance) pairs sorted descending (Table 4 view).
+
+        Only available for the tree-ensemble classifiers.
+        """
+        self._check_fitted()
+        importances = getattr(self.classifier_, "feature_importances_", None)
+        if importances is None:
+            raise AttributeError(
+                f"{self.classifier_name} does not expose feature importances."
+            )
+        names = self.pipeline_.feature_names_
+        order = np.argsort(importances)[::-1]
+        if top is not None:
+            order = order[:top]
+        return [(names[i], float(importances[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise the fitted model (pipeline + classifier) to disk."""
+        self._check_fitted()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path: str | Path) -> "MonitorlessModel":
+        """Load a model previously written by :meth:`save`."""
+        with Path(path).open("rb") as handle:
+            model = pickle.load(handle)
+        if not isinstance(model, MonitorlessModel):
+            raise TypeError(f"{path} does not contain a MonitorlessModel.")
+        return model

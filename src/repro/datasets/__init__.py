@@ -1,0 +1,30 @@
+"""Training datasets (Table 1) and evaluation scenarios (section 4).
+
+- :mod:`repro.datasets.configs` -- the 25 training-run configurations
+  of the paper's Table 1 (service, cgroup limits, parallel partner,
+  traffic pattern, intended bottleneck).
+- :mod:`repro.datasets.generate` -- simulate the runs, discover each
+  run's saturation threshold with a calibration ramp (Kneedle), label
+  the samples and assemble the training corpus.
+- :mod:`repro.datasets.experiments` -- the three evaluation scenarios:
+  Elgg three-tier (Table 5), the TeaStore/Sockshop multi-tenant
+  deployment (Tables 6-8, Figure 3).
+"""
+
+from repro.datasets.configs import TABLE1_RUNS, RunConfig, sessions
+from repro.datasets.generate import (
+    LabeledRun,
+    TrainingCorpus,
+    build_training_corpus,
+    generate_session,
+)
+
+__all__ = [
+    "RunConfig",
+    "TABLE1_RUNS",
+    "sessions",
+    "LabeledRun",
+    "TrainingCorpus",
+    "generate_session",
+    "build_training_corpus",
+]

@@ -1,0 +1,257 @@
+"""Training-corpus generation: simulate, calibrate, label, assemble.
+
+For every session (a Table-1 run, or a pair of runs executing in
+parallel for interference):
+
+1. **Calibrate**: each run executes alone under a linearly-increasing
+   load; Kneedle on the observed throughput yields the saturation
+   threshold :math:`\\Upsilon` (paper section 2.2).
+2. **Simulate**: the session's applications run together on the
+   training host under their Table-1 traffic patterns.
+3. **Label**: every second is labeled saturated iff the run's
+   application throughput KPI exceeds :math:`\\Upsilon` (section 2.3);
+   a small observation noise models real measurement jitter.
+4. **Collect**: the telemetry agent produces each container's
+   ``M_{I,t}`` rows; rows carry their run id as the CV group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import MACHINES
+from repro.cluster.simulation import ClusterSimulation, Placement
+from repro.core.features.meta import FeatureMeta
+from repro.core.labeling import KneedleLabeler
+from repro.datasets.configs import TABLE1_RUNS, RunConfig, sessions
+from repro.telemetry.agent import TelemetryAgent
+from repro.telemetry.catalog import MetricCatalog, default_catalog
+from repro.workloads.patterns import linear_ramp
+
+__all__ = [
+    "LabeledRun",
+    "TrainingCorpus",
+    "calibrate_threshold",
+    "generate_session",
+    "build_training_corpus",
+]
+
+_KPI_NOISE = 0.01  # 1% relative observation noise on the throughput KPI
+
+
+@dataclass
+class LabeledRun:
+    """One run's labeled samples."""
+
+    config: RunConfig
+    X: np.ndarray  # (T, n_metrics) platform-metric samples
+    y: np.ndarray  # (T,) saturation labels
+    threshold: float  # the discovered Upsilon
+    throughput: np.ndarray  # the KPI used for labeling
+    observed_bottleneck: str  # modal bottleneck among saturated ticks
+
+    @property
+    def saturated_fraction(self) -> float:
+        return float(self.y.mean())
+
+
+@dataclass
+class TrainingCorpus:
+    """The assembled corpus: samples, labels, CV groups, column meta."""
+
+    X: np.ndarray
+    y: np.ndarray
+    groups: np.ndarray  # run id per row
+    meta: list[FeatureMeta]
+    runs: list[LabeledRun]
+
+    @property
+    def saturated_fraction(self) -> float:
+        return float(self.y.mean())
+
+    def summary(self) -> list[dict]:
+        """Per-run digest (run id, samples, saturation, bottleneck)."""
+        return [
+            {
+                "run": run.config.run_id,
+                "service": run.config.service,
+                "traffic": run.config.traffic,
+                "samples": int(run.y.size),
+                "saturated": round(run.saturated_fraction, 3),
+                "intended_bottleneck": run.config.bottleneck,
+                "observed_bottleneck": run.observed_bottleneck,
+            }
+            for run in self.runs
+        ]
+
+
+def _placement(config: RunConfig, node: str) -> Placement:
+    return Placement(
+        node=node, cpu_limit=config.cpu_limit, memory_limit=config.mem_limit
+    )
+
+
+def calibrate_threshold(
+    config: RunConfig,
+    *,
+    duration: int = 300,
+    node: str = "training",
+    seed: int = 0,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Discover the run's saturation threshold with a linear ramp.
+
+    Returns ``(threshold, ramp_load, observed_throughput)``.
+
+    If the configured ramp never reaches saturation (throughput still
+    tracks the offered load at the ramp's top), the ramp is extended --
+    doubled up to five times -- until a knee appears, mirroring how an
+    operator keeps increasing the calibration load until the KPI
+    flattens (section 2.2).
+    """
+    rng = np.random.default_rng(seed + config.run_id)
+
+    def ramp_run(low: float, high: float) -> tuple[np.ndarray, np.ndarray]:
+        simulation = ClusterSimulation({node: MACHINES[node]}, seed=seed)
+        application = config.application()
+        simulation.deploy(
+            application,
+            {name: [_placement(config, node)] for name in application.services},
+        )
+        ramp = linear_ramp(duration, low, high)
+        result = simulation.run({application.name: ramp})
+        return ramp, result.kpi(application.name, "throughput")
+
+    # Phase 1: find the capacity region, doubling the ramp top until the
+    # KPI visibly flattens.
+    high = config.rate_high * 1.3
+    low = max(config.rate_low * 0.1, 1.0)
+    for _ in range(6):
+        ramp, throughput = ramp_run(low, high)
+        if throughput[-1] < 0.9 * ramp[-1]:
+            break
+        high *= 2.0
+
+    # Phase 2: re-ramp to ~1.6x the estimated capacity so the knee sits
+    # well inside the run and is sampled densely.
+    capacity_estimate = float(np.max(throughput))
+    ramp, throughput = ramp_run(
+        max(capacity_estimate * 0.05, 1.0), capacity_estimate * 1.6
+    )
+    observed = throughput * (1.0 + rng.normal(0.0, _KPI_NOISE, throughput.size))
+    labeler = KneedleLabeler(window_length=21).fit(ramp, observed)
+    return float(labeler.threshold_), ramp, observed
+
+
+def generate_session(
+    session: tuple[RunConfig, ...],
+    *,
+    duration: int = 600,
+    calibration_duration: int = 300,
+    node: str = "training",
+    seed: int = 0,
+    agent: TelemetryAgent | None = None,
+) -> list[LabeledRun]:
+    """Simulate one session and return each run's labeled samples."""
+    agent = agent or TelemetryAgent(seed=seed)
+
+    thresholds = {
+        config.run_id: calibrate_threshold(
+            config,
+            duration=calibration_duration,
+            node=node,
+            seed=seed,
+        )[0]
+        for config in session
+    }
+
+    simulation = ClusterSimulation({node: MACHINES[node]}, seed=seed)
+    workloads = {}
+    applications = {}
+    for config in session:
+        application = config.application()
+        # Two Cassandra runs in one session would collide on the app name;
+        # suffix with the run id to keep deployments distinct.
+        application.name = f"{application.name}-{config.run_id}"
+        applications[config.run_id] = application
+        simulation.deploy(
+            application,
+            {name: [_placement(config, node)] for name in application.services},
+        )
+        workloads[application.name] = config.workload(duration, seed=seed)
+    result = simulation.run(workloads)
+
+    rng = np.random.default_rng(seed + 1000)
+    labeled: list[LabeledRun] = []
+    for config in session:
+        application = applications[config.run_id]
+        throughput = result.kpi(application.name, "throughput")
+        observed = throughput * (
+            1.0 + rng.normal(0.0, _KPI_NOISE, throughput.size)
+        )
+        y = (observed > thresholds[config.run_id]).astype(np.int64)
+        containers = [
+            c for c in result.containers if c.application == application.name
+        ]
+        X = np.vstack(
+            [agent.instance_matrix(c, result.nodes) for c in containers]
+        )
+        y_full = np.tile(y, len(containers))
+        saturated_bottlenecks = [
+            tick.bottleneck
+            for container in containers
+            for tick, label in zip(container.history, y)
+            if label == 1
+        ]
+        # When a run never saturates (interference partners at constant
+        # sub-knee load), the limiting factor is still the modal
+        # highest-utilization resource across the run.
+        all_bottlenecks = saturated_bottlenecks or [
+            tick.bottleneck for container in containers for tick in container.history
+        ]
+        values, counts = np.unique(all_bottlenecks, return_counts=True)
+        modal = str(values[np.argmax(counts)])
+        labeled.append(
+            LabeledRun(
+                config=config,
+                X=X,
+                y=y_full,
+                threshold=thresholds[config.run_id],
+                throughput=observed,
+                observed_bottleneck=modal,
+            )
+        )
+    return labeled
+
+
+def build_training_corpus(
+    *,
+    duration: int = 600,
+    calibration_duration: int = 300,
+    seed: int = 0,
+    runs: list[RunConfig] | None = None,
+    catalog: MetricCatalog | None = None,
+) -> TrainingCorpus:
+    """Generate the full Table-1 corpus (all sessions)."""
+    catalog = catalog or default_catalog()
+    agent = TelemetryAgent(catalog=catalog, seed=seed)
+    all_runs: list[LabeledRun] = []
+    for session in sessions(runs if runs is not None else TABLE1_RUNS):
+        all_runs.extend(
+            generate_session(
+                session,
+                duration=duration,
+                calibration_duration=calibration_duration,
+                seed=seed,
+                agent=agent,
+            )
+        )
+    X = np.vstack([run.X for run in all_runs])
+    y = np.concatenate([run.y for run in all_runs])
+    groups = np.concatenate(
+        [np.full(run.y.size, run.config.run_id) for run in all_runs]
+    )
+    return TrainingCorpus(
+        X=X, y=y, groups=groups, meta=catalog.feature_meta(), runs=all_runs
+    )

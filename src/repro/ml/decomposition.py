@@ -1,0 +1,76 @@
+"""Principal Component Analysis (Pearson, 1901) via SVD.
+
+Used by the monitorless feature pipeline as an alternative reduction
+step (paper section 3.3.4): the paper keeps 50 components accounting
+for 99.99% of variance.  ``n_components`` accepts an int (component
+count) or a float in (0, 1) (fraction of explained variance to keep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_is_fitted
+
+__all__ = ["PCA"]
+
+
+class PCA(BaseEstimator):
+    """Linear projection onto the top principal components."""
+
+    def __init__(self, n_components=None):
+        self.n_components = n_components
+
+    def fit(self, X, y=None) -> "PCA":
+        X = check_array(X)
+        n, d = X.shape
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # Thin SVD; components are rows of Vt.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        denominator = max(n - 1, 1)
+        explained_variance = singular_values**2 / denominator
+        total_variance = explained_variance.sum()
+        if total_variance <= 0:
+            ratio = np.zeros_like(explained_variance)
+        else:
+            ratio = explained_variance / total_variance
+
+        if self.n_components is None:
+            keep = min(n, d)
+        elif isinstance(self.n_components, float):
+            if not 0.0 < self.n_components <= 1.0:
+                raise ValueError("Fractional n_components must be in (0, 1].")
+            cumulative = np.cumsum(ratio)
+            keep = int(np.searchsorted(cumulative, self.n_components) + 1)
+            keep = min(keep, len(ratio))
+        else:
+            keep = int(self.n_components)
+            if keep < 1:
+                raise ValueError("n_components must be >= 1.")
+            keep = min(keep, min(n, d))
+
+        self.components_ = vt[:keep]
+        self.explained_variance_ = explained_variance[:keep]
+        self.explained_variance_ratio_ = ratio[:keep]
+        self.n_components_ = keep
+        self.n_features_in_ = d
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; PCA was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.components_ + self.mean_

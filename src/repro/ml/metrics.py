@@ -1,0 +1,129 @@
+"""Classification metrics (accuracy, precision/recall/F1, confusion matrix).
+
+These are the standard (unlagged) metrics; the paper's lag-tolerant
+``F1_2`` / ``Acc_2`` variants live in :mod:`repro.core.evaluation`
+because they encode domain semantics (monitoring delay) rather than
+generic ML scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "log_loss",
+    "roc_auc_score",
+]
+
+
+def _as_labels(y) -> np.ndarray:
+    return np.asarray(y).ravel()
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true, y_pred = _as_labels(y_true), _as_labels(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length.")
+    if y_true.size == 0:
+        raise ValueError("Cannot score empty label arrays.")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Confusion matrix ``C`` with ``C[i, j]`` = true ``i`` predicted ``j``."""
+    y_true, y_pred = _as_labels(y_true), _as_labels(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    k = len(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((k, k), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def _binary_counts(y_true, y_pred, pos_label) -> tuple[int, int, int, int]:
+    y_true, y_pred = _as_labels(y_true), _as_labels(y_pred)
+    tp = int(np.sum((y_true == pos_label) & (y_pred == pos_label)))
+    fp = int(np.sum((y_true != pos_label) & (y_pred == pos_label)))
+    fn = int(np.sum((y_true == pos_label) & (y_pred != pos_label)))
+    tn = int(np.sum((y_true != pos_label) & (y_pred != pos_label)))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred, *, pos_label=1) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    tp, fp, _, _ = _binary_counts(y_true, y_pred, pos_label)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, *, pos_label=1) -> float:
+    """TP / (TP + FN); 0.0 when there are no positive samples."""
+    tp, _, fn, _ = _binary_counts(y_true, y_pred, pos_label)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, *, pos_label=1) -> float:
+    """Sorensen-Dice coefficient ``2TP / (2TP + FP + FN)``."""
+    tp, fp, fn, _ = _binary_counts(y_true, y_pred, pos_label)
+    denominator = 2 * tp + fp + fn
+    return 2 * tp / denominator if denominator else 0.0
+
+
+def classification_report(y_true, y_pred, *, pos_label=1) -> dict[str, float]:
+    """Dict with accuracy, precision, recall, F1 and the raw counts."""
+    tp, fp, fn, tn = _binary_counts(y_true, y_pred, pos_label)
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred, pos_label=pos_label),
+        "recall": recall_score(y_true, y_pred, pos_label=pos_label),
+        "f1": f1_score(y_true, y_pred, pos_label=pos_label),
+        "tp": tp,
+        "fp": fp,
+        "fn": fn,
+        "tn": tn,
+    }
+
+
+def log_loss(y_true, y_proba, *, eps: float = 1e-12) -> float:
+    """Binary cross-entropy of predicted positive-class probabilities."""
+    y_true = _as_labels(y_true).astype(np.float64)
+    p = np.clip(np.asarray(y_proba, dtype=np.float64).ravel(), eps, 1 - eps)
+    if y_true.shape != p.shape:
+        raise ValueError("y_true and y_proba must have the same length.")
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank statistic (handles ties)."""
+    y_true = _as_labels(y_true)
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    positives = int(np.sum(y_true == 1))
+    negatives = y_true.size - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC AUC is undefined with a single class.")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = y_score[order]
+    i = 0
+    rank = 1.0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        average_rank = (rank + rank + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = average_rank
+        rank += j - i + 1
+        i = j + 1
+    positive_rank_sum = float(np.sum(ranks[y_true == 1]))
+    return (positive_rank_sum - positives * (positives + 1) / 2) / (
+        positives * negatives
+    )

@@ -1,0 +1,215 @@
+"""Cross-validation and hyper-parameter search.
+
+The paper performs 5-fold cross-validation *grouped by training run*
+(section 3.4: "20 sets for training and 5 sets for validation in the
+fold", i.e. the 25 Table-1 datasets are the fold unit, not individual
+samples) to avoid leaking a run's temporal structure across folds.
+:class:`GroupKFold` implements that; :class:`GridSearchCV` runs an
+exhaustive parameter-grid search over any estimator built on
+:class:`repro.ml.base.BaseEstimator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_random_state, clone
+from repro.ml.metrics import accuracy_score, f1_score
+
+__all__ = [
+    "KFold",
+    "GroupKFold",
+    "train_test_split",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearchCV",
+]
+
+
+class KFold:
+    """Plain k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2.")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None, groups=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"Cannot split {n} samples into {self.n_splits} folds."
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = check_random_state(self.random_state).permutation(n)
+        folds = np.array_split(indices, self.n_splits)
+        for k in range(self.n_splits):
+            validation = folds[k]
+            training = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield training, validation
+
+
+class GroupKFold:
+    """K-fold where all samples of one group land in the same fold.
+
+    Groups are balanced greedily by sample count (largest group first),
+    matching scikit-learn's behaviour.
+    """
+
+    def __init__(self, n_splits: int = 5):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2.")
+        self.n_splits = n_splits
+
+    def split(self, X, y=None, groups=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if groups is None:
+            raise ValueError("GroupKFold requires a groups array.")
+        groups = np.asarray(groups)
+        if len(groups) != len(X):
+            raise ValueError("groups must align with X.")
+        unique, counts = np.unique(groups, return_counts=True)
+        if len(unique) < self.n_splits:
+            raise ValueError(
+                f"Need at least {self.n_splits} groups, got {len(unique)}."
+            )
+        fold_sizes = np.zeros(self.n_splits)
+        fold_of_group: dict[Any, int] = {}
+        for group in unique[np.argsort(counts)[::-1]]:
+            fold = int(np.argmin(fold_sizes))
+            fold_of_group[group] = fold
+            fold_sizes[fold] += counts[unique.tolist().index(group)]
+        fold_assignment = np.array([fold_of_group[g] for g in groups])
+        indices = np.arange(len(groups))
+        for k in range(self.n_splits):
+            validation = indices[fold_assignment == k]
+            training = indices[fold_assignment != k]
+            yield training, validation
+
+
+def train_test_split(
+    *arrays, test_size: float = 0.25, shuffle: bool = True, random_state=None
+):
+    """Split any number of aligned arrays into train/test partitions."""
+    if not arrays:
+        raise ValueError("At least one array is required.")
+    n = len(arrays[0])
+    for array in arrays:
+        if len(array) != n:
+            raise ValueError("All arrays must have the same length.")
+    n_test = int(np.ceil(n * test_size)) if isinstance(test_size, float) else test_size
+    if not 0 < n_test < n:
+        raise ValueError("test_size leaves an empty train or test partition.")
+    indices = np.arange(n)
+    if shuffle:
+        indices = check_random_state(random_state).permutation(n)
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    result = []
+    for array in arrays:
+        array = np.asarray(array)
+        result.extend([array[train_idx], array[test_idx]])
+    return result
+
+
+def _resolve_scorer(scoring) -> Callable[[Any, np.ndarray, np.ndarray], float]:
+    if callable(scoring):
+        return scoring
+    if scoring in (None, "accuracy"):
+        return lambda est, X, y: accuracy_score(y, est.predict(X))
+    if scoring == "f1":
+        return lambda est, X, y: f1_score(y, est.predict(X))
+    raise ValueError(f"Unknown scoring: {scoring!r}")
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv=None,
+    groups=None,
+    scoring=None,
+) -> np.ndarray:
+    """Fit/score the estimator on each CV fold; returns the fold scores."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter = cv if cv is not None else KFold(n_splits=5)
+    scorer = _resolve_scorer(scoring)
+    scores = []
+    for train_idx, valid_idx in splitter.split(X, y, groups):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(model, X[valid_idx], y[valid_idx]))
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Iterate the Cartesian product of a dict of parameter lists."""
+
+    def __init__(self, grid: dict[str, list]):
+        if not isinstance(grid, dict):
+            raise ValueError("grid must be a dict of parameter lists.")
+        self.grid = {key: list(values) for key, values in grid.items()}
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.grid:
+            yield {}
+            return
+        keys = sorted(self.grid)
+        for combination in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combination))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+
+@dataclass
+class GridSearchCV:
+    """Exhaustive grid search with cross-validated scoring.
+
+    After :meth:`fit`, ``best_estimator_`` is refitted on the full data
+    with ``best_params_``.
+    """
+
+    estimator: BaseEstimator
+    param_grid: dict[str, list]
+    cv: Any = None
+    scoring: Any = None
+    results_: list[dict] = field(default_factory=list, init=False)
+
+    def fit(self, X, y, groups=None) -> "GridSearchCV":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        self.results_ = []
+        best_score = -np.inf
+        best_params: dict[str, Any] | None = None
+        for params in ParameterGrid(self.param_grid):
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                candidate, X, y, cv=self.cv, groups=groups, scoring=self.scoring
+            )
+            mean_score = float(np.mean(scores))
+            self.results_.append(
+                {"params": params, "mean_score": mean_score, "scores": scores}
+            )
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        assert best_params is not None  # grid is never empty
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return self.best_estimator_.predict(X)

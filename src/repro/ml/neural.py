@@ -1,0 +1,177 @@
+"""Three-layer fully-connected neural network (the paper's Keras model).
+
+The paper trains a sequential network of three dense layers whose
+activation functions are grid-searched over {softmax, relu, sigmoid,
+linear} per layer (Table 2).  This is a numpy re-implementation with
+mini-batch Adam and binary cross-entropy on a sigmoid output head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["MLPClassifier"]
+
+
+def _activate(z: np.ndarray, kind: str) -> np.ndarray:
+    if kind == "relu":
+        return np.maximum(z, 0.0)
+    if kind == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+    if kind == "linear":
+        return z
+    if kind == "softmax":
+        shifted = z - z.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+    raise ValueError(f"Unknown activation: {kind!r}")
+
+
+def _activate_grad(z: np.ndarray, a: np.ndarray, kind: str) -> np.ndarray:
+    """Element-wise derivative of the activation w.r.t. its input.
+
+    For softmax this uses the diagonal approximation ``a * (1 - a)``,
+    which is exact per-unit and adequate for hidden layers (softmax is
+    an unusual hidden activation that the paper's grid includes anyway).
+    """
+    if kind == "relu":
+        return (z > 0.0).astype(z.dtype)
+    if kind in ("sigmoid", "softmax"):
+        return a * (1.0 - a)
+    if kind == "linear":
+        return np.ones_like(z)
+    raise ValueError(f"Unknown activation: {kind!r}")
+
+
+class MLPClassifier(BaseEstimator, ClassifierMixin):
+    """Binary classifier: 3 hidden dense layers + sigmoid output unit."""
+
+    def __init__(
+        self,
+        hidden_units: tuple[int, int, int] = (64, 32, 16),
+        activation_function1: str = "relu",
+        activation_function2: str = "relu",
+        activation_function3: str = "relu",
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        epochs: int = 30,
+        l2: float = 1e-5,
+        random_state=None,
+    ):
+        self.hidden_units = hidden_units
+        self.activation_function1 = activation_function1
+        self.activation_function2 = activation_function2
+        self.activation_function3 = activation_function3
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.l2 = l2
+        self.random_state = random_state
+
+    def _activations(self) -> list[str]:
+        return [
+            self.activation_function1,
+            self.activation_function2,
+            self.activation_function3,
+        ]
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = check_X_y(X, y)
+        y_encoded = self._encode_labels(y)
+        if len(self.classes_) != 2:
+            raise ValueError("MLPClassifier here is binary-only.")
+        target = y_encoded.astype(np.float64).reshape(-1, 1)
+        n, d = X.shape
+        rng = check_random_state(self.random_state)
+        sizes = [d, *self.hidden_units, 1]
+        activations = [*self._activations(), "sigmoid"]
+
+        weights = []
+        biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))  # Glorot uniform
+            weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+
+        # Adam state
+        m_w = [np.zeros_like(w) for w in weights]
+        v_w = [np.zeros_like(w) for w in weights]
+        m_b = [np.zeros_like(b) for b in biases]
+        v_b = [np.zeros_like(b) for b in biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        batch = max(1, min(self.batch_size, n))
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, tb = X[idx], target[idx]
+
+                # Forward pass
+                zs, outputs = [], [xb]
+                for w, b, kind in zip(weights, biases, activations):
+                    z = outputs[-1] @ w + b
+                    zs.append(z)
+                    outputs.append(_activate(z, kind))
+
+                # Backward pass: BCE + sigmoid head -> delta = p - t.
+                delta = (outputs[-1] - tb) / len(idx)
+                step += 1
+                for layer in reversed(range(len(weights))):
+                    grad_w = outputs[layer].T @ delta + self.l2 * weights[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ weights[layer].T) * _activate_grad(
+                            zs[layer - 1], outputs[layer], activations[layer - 1]
+                        )
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grad_w
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grad_w**2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grad_b
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grad_b**2
+                    m_w_hat = m_w[layer] / (1 - beta1**step)
+                    v_w_hat = v_w[layer] / (1 - beta2**step)
+                    m_b_hat = m_b[layer] / (1 - beta1**step)
+                    v_b_hat = v_b[layer] / (1 - beta2**step)
+                    weights[layer] -= (
+                        self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                    )
+                    biases[layer] -= (
+                        self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+                    )
+
+        self.weights_ = weights
+        self.biases_ = biases
+        self.n_features_in_ = d
+        return self
+
+    def _forward(self, X: np.ndarray) -> np.ndarray:
+        activations = [*self._activations(), "sigmoid"]
+        output = X
+        for w, b, kind in zip(self.weights_, self.biases_, activations):
+            output = _activate(output @ w + b, kind)
+        return output.ravel()
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "weights_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with "
+                f"{self.n_features_in_}."
+            )
+        positive = self._forward(X)
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X) -> np.ndarray:
+        positive = self.predict_proba(X)[:, 1]
+        return self.classes_[(positive >= 0.5).astype(np.int64)]

@@ -1,0 +1,107 @@
+"""Autoscaling mechanics (paper section 4.2.2, Table 7).
+
+When a policy reports a service saturated, the autoscaler starts one
+extra replica; every replica lives for a fixed lifespan (120 s in the
+paper, "to avoid the issue of endless out-scaling") and is then
+retired.  For Table-7 fairness the paper ties Recommender and Auth
+together: if either is reported saturated, both are scaled --
+``ScalingRules.scale_groups`` expresses that coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.simulation import ClusterSimulation, Placement
+
+__all__ = ["ScalingRules", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class ScalingRules:
+    """Where and how replicas are added.
+
+    Attributes
+    ----------
+    placements:
+        Service -> placement used for scale-out replicas (the paper
+        adds TeaStore replicas on M2).
+    replica_lifespan:
+        Seconds a scale-out replica lives before scale-in.
+    scale_groups:
+        Groups of services scaled together: if any member is reported
+        saturated, every member scales.
+    scalable:
+        Services eligible for scaling; None = every service with a
+        placement entry.
+    max_replicas:
+        Upper bound per service, counting the baseline replica.
+    """
+
+    placements: dict[str, Placement]
+    replica_lifespan: int = 120
+    scale_groups: tuple[tuple[str, ...], ...] = ()
+    scalable: frozenset[str] | None = None
+    max_replicas: int = 4
+
+    def expand(self, saturated: set[str]) -> set[str]:
+        """Apply group coupling and the scalable filter."""
+        expanded = set(saturated)
+        for group in self.scale_groups:
+            if expanded & set(group):
+                expanded.update(group)
+        allowed = (
+            set(self.placements)
+            if self.scalable is None
+            else set(self.scalable)
+        )
+        return expanded & allowed
+
+
+@dataclass
+class _ActiveReplica:
+    service: str
+    retire_at: int
+
+
+@dataclass
+class Autoscaler:
+    """Tracks scale-out replicas for one application."""
+
+    simulation: ClusterSimulation
+    application: str
+    rules: ScalingRules
+    active: list[_ActiveReplica] = field(default_factory=list)
+    total_scale_outs: int = 0
+
+    def act(self, saturated: set[str], t: int) -> None:
+        """Retire expired replicas, then scale out saturated services."""
+        # Scale-in first: replicas whose lifespan elapsed.
+        surviving = []
+        for replica in self.active:
+            if t >= replica.retire_at:
+                self.simulation.remove_replica(self.application, replica.service)
+            else:
+                surviving.append(replica)
+        self.active = surviving
+
+        for service in sorted(self.rules.expand(saturated)):
+            if service not in self.rules.placements:
+                continue
+            current = self.simulation.replica_counts(self.application)[service]
+            if current >= self.rules.max_replicas:
+                continue
+            self.simulation.add_replica(
+                self.application, service, self.rules.placements[service]
+            )
+            self.active.append(
+                _ActiveReplica(
+                    service=service, retire_at=t + self.rules.replica_lifespan
+                )
+            )
+            self.total_scale_outs += 1
+
+    @property
+    def extra_replicas(self) -> int:
+        """Currently-running scale-out replicas."""
+        return len(self.active)

@@ -1,0 +1,145 @@
+"""The orchestrator loop: monitor -> predict -> scale, once per second.
+
+Runs one application's workload trace through the simulation while a
+policy watches for saturation and an autoscaler acts on it; reports
+the paper's Table-7 quantities -- average extra provisioning relative
+to the baseline deployment and the number of SLO violations -- plus
+the full KPI timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.orchestrator.autoscaler import Autoscaler, ScalingRules
+from repro.orchestrator.slo import SloPolicy, slo_violations
+
+__all__ = ["Orchestrator", "OrchestratorResult"]
+
+
+@dataclass
+class OrchestratorResult:
+    """Outcome of one closed-loop run."""
+
+    policy_name: str
+    duration: int
+    baseline_containers: int
+    extra_replicas: np.ndarray  # per-tick count of scale-out replicas
+    violations: np.ndarray  # per-tick SLO violation flags
+    response_time: np.ndarray
+    throughput: np.ndarray
+    offered: np.ndarray
+    dropped: np.ndarray
+    total_scale_outs: int
+
+    @property
+    def average_provisioning(self) -> float:
+        """Average extra containers relative to the baseline (Table 7)."""
+        return float(np.mean(self.extra_replicas)) / self.baseline_containers
+
+    @property
+    def slo_violation_count(self) -> int:
+        return int(np.sum(self.violations))
+
+    def as_row(self) -> dict:
+        """Row in the shape of the paper's Table 7."""
+        return {
+            "algorithm": self.policy_name,
+            "provisioning": f"+{100 * self.average_provisioning:.0f}%",
+            "slo_violations": self.slo_violation_count,
+        }
+
+
+class Orchestrator:
+    """Drives one closed-loop experiment.
+
+    Parameters
+    ----------
+    simulation:
+        A cluster with the target application (and any interfering
+        tenants) already deployed.
+    application:
+        Name of the application being scaled and SLO-scored.
+    policy:
+        A saturation-detection policy (see
+        :mod:`repro.orchestrator.policies`).
+    rules:
+        Scaling mechanics; ``None`` disables scaling (the no-scaling
+        baseline).
+    slo:
+        SLO thresholds (defaults to the paper's).
+    decision_interval:
+        Seconds between policy evaluations (1 = every tick).
+    """
+
+    def __init__(
+        self,
+        simulation: ClusterSimulation,
+        application: str,
+        policy,
+        rules: ScalingRules | None = None,
+        slo: SloPolicy | None = None,
+        decision_interval: int = 1,
+    ):
+        if application not in simulation.deployments:
+            raise ValueError(f"Application {application} is not deployed.")
+        if decision_interval < 1:
+            raise ValueError("decision_interval must be >= 1.")
+        self.simulation = simulation
+        self.application = application
+        self.policy = policy
+        self.rules = rules
+        self.slo = slo or SloPolicy()
+        self.decision_interval = decision_interval
+        self.autoscaler = (
+            Autoscaler(simulation=simulation, application=application, rules=rules)
+            if rules is not None
+            else None
+        )
+
+    def run(self, workloads: dict[str, np.ndarray]) -> OrchestratorResult:
+        """Run the full trace; returns provisioning and SLO accounting."""
+        lengths = {len(series) for series in workloads.values()}
+        if len(lengths) != 1:
+            raise ValueError("All workload series must have equal length.")
+        duration = lengths.pop()
+        baseline = sum(
+            self.simulation.replica_counts(self.application).values()
+        )
+        extra = np.zeros(duration)
+        for t in range(duration):
+            self.simulation.step(
+                {app: float(series[t]) for app, series in workloads.items()}
+            )
+            if self.autoscaler is not None and t % self.decision_interval == 0:
+                saturated = self.policy.saturated_services(
+                    self.simulation, self.application, t
+                )
+                self.autoscaler.act(saturated, t)
+            extra[t] = (
+                self.autoscaler.extra_replicas if self.autoscaler else 0
+            )
+
+        kpis = self.simulation._kpis[self.application]
+        response_time = np.asarray(kpis["response_time"][-duration:])
+        offered = np.asarray(kpis["offered"][-duration:])
+        dropped = np.asarray(kpis["dropped"][-duration:])
+        throughput = np.asarray(kpis["throughput"][-duration:])
+        violations = slo_violations(response_time, dropped, offered, self.slo)
+        return OrchestratorResult(
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            duration=duration,
+            baseline_containers=baseline,
+            extra_replicas=extra,
+            violations=violations,
+            response_time=response_time,
+            throughput=throughput,
+            offered=offered,
+            dropped=dropped,
+            total_scale_outs=(
+                self.autoscaler.total_scale_outs if self.autoscaler else 0
+            ),
+        )

@@ -1,0 +1,173 @@
+"""Per-tick saturation-detection policies for the closed loop.
+
+A policy inspects the live cluster at tick ``t`` and returns the set
+of *service names* it considers saturated.  Four families mirror the
+paper's Table-7 comparison:
+
+- :class:`MonitorlessPolicy` -- the trained model applied to a short
+  window of live platform metrics per container (application
+  knowledge: none);
+- :class:`ThresholdPolicy` -- static CPU/MEM utilization thresholds
+  (the optimally-tuned baselines);
+- :class:`ResponseTimePolicy` -- the "optimal" RT-based scaler that
+  watches the end-to-end application KPI directly (requires exactly
+  the application-level monitoring monitorless is designed to avoid);
+- :class:`NoScalingPolicy` -- the static worst-case baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.model import MonitorlessModel
+from repro.core.thresholds import ThresholdBaseline
+from repro.telemetry.agent import TelemetryAgent
+from repro.telemetry.catalog import CONTAINER_CHANNELS
+
+__all__ = [
+    "MonitorlessPolicy",
+    "ThresholdPolicy",
+    "ResponseTimePolicy",
+    "NoScalingPolicy",
+]
+
+
+class NoScalingPolicy:
+    """Never reports saturation (the paper's static baseline)."""
+
+    name = "no-scaling"
+
+    def saturated_services(
+        self, simulation: ClusterSimulation, application: str, t: int
+    ) -> set[str]:
+        return set()
+
+
+class MonitorlessPolicy:
+    """The monitorless detector: model + telemetry window per container.
+
+    Each tick, every container's last ``window`` seconds of platform
+    metrics are collected and pushed through the model; a container
+    predicted saturated marks its service.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`MonitorlessModel`.
+    agent:
+        Telemetry agent (must use the catalog the model was trained on).
+    window:
+        Seconds of history per prediction; must cover the model's
+        longest temporal feature (the paper uses 15 s + the current
+        sample).
+    """
+
+    name = "monitorless"
+
+    def __init__(
+        self,
+        model: MonitorlessModel,
+        agent: TelemetryAgent,
+        window: int = 16,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1.")
+        self.model = model
+        self.agent = agent
+        self.window = window
+        self.meta = agent.catalog.feature_meta()
+
+    def saturated_services(
+        self, simulation: ClusterSimulation, application: str, t: int
+    ) -> set[str]:
+        deployment = simulation.deployments[application]
+        # Transform every replica's window, then classify all current
+        # rows in ONE forest call -- per-call overhead dominates at
+        # per-tick batch sizes.
+        services: list[str] = []
+        current_rows: list[np.ndarray] = []
+        for service, replicas in deployment.instances.items():
+            for instance in replicas:
+                container = instance.container
+                end = container.created_at + len(container.history)
+                if end <= container.created_at:
+                    continue  # no samples yet
+                start = max(container.created_at, end - self.window)
+                window_matrix = self.agent.instance_matrix(
+                    container, simulation.nodes, start=start, end=end
+                )
+                features = self.model.transform(window_matrix, self.meta)
+                services.append(service)
+                current_rows.append(features[-1])
+        if not current_rows:
+            return set()
+        batch = np.vstack(current_rows)
+        classifier = self.model.classifier_
+        if hasattr(classifier, "predict_proba"):
+            positive = classifier.predict_proba(batch)[:, 1]
+            flags = positive >= self.model.prediction_threshold
+        else:
+            flags = np.asarray(classifier.predict(batch)) == 1
+        return {service for service, flag in zip(services, flags) if flag}
+
+
+class ThresholdPolicy:
+    """Static-threshold detector over live container utilizations."""
+
+    def __init__(self, baseline: ThresholdBaseline, agent: TelemetryAgent):
+        self.baseline = baseline
+        self.agent = agent
+        self.name = baseline.label()
+
+    def saturated_services(
+        self, simulation: ClusterSimulation, application: str, t: int
+    ) -> set[str]:
+        deployment = simulation.deployments[application]
+        saturated: set[str] = set()
+        channels = CONTAINER_CHANNELS
+        for service, replicas in deployment.instances.items():
+            for instance in replicas:
+                container = instance.container
+                end = container.created_at + len(container.history)
+                if end <= container.created_at:
+                    continue
+                node = simulation.nodes[container.node]
+                state = self.agent.container_state(container, node, end - 1, end)
+                cpu = state[0, channels["cpu_rel_util"]]
+                mem = state[0, channels["mem_limit_util"]]
+                if self.baseline.predict_instance(
+                    np.asarray([cpu]), np.asarray([mem])
+                )[0]:
+                    saturated.add(service)
+                    break
+        return saturated
+
+
+class ResponseTimePolicy:
+    """The a-posteriori "optimal" scaler: watches the application KPI.
+
+    Fires on the services in ``target_services`` whenever the measured
+    end-to-end response time exceeds ``rt_threshold`` (the paper scales
+    Recommender and Auth together, chosen with application knowledge).
+    """
+
+    name = "rt-based"
+
+    def __init__(self, target_services: list[str], rt_threshold: float = 0.5):
+        if not target_services:
+            raise ValueError("target_services must not be empty.")
+        if rt_threshold <= 0:
+            raise ValueError("rt_threshold must be positive.")
+        self.target_services = list(target_services)
+        self.rt_threshold = rt_threshold
+
+    def saturated_services(
+        self, simulation: ClusterSimulation, application: str, t: int
+    ) -> set[str]:
+        kpis = simulation._kpis[application]
+        if not kpis["response_time"]:
+            return set()
+        if kpis["response_time"][-1] > self.rt_threshold:
+            return set(self.target_services)
+        return set()

@@ -1,0 +1,167 @@
+"""Scale-in / overprovisioning detection (paper section 5, "Using
+monitorless for autoscaling").
+
+The paper: "it is possible to extend our approach training an
+additional classifier for detecting overprovisioned services and
+conservatively scale in to reduce costs.  This makes it possible to
+recommend the exact amount of service instances required."
+
+Implementation:
+
+- :func:`label_overprovisioning` -- derive over-provisioning labels
+  from calibration data: a sample is *overprovisioned* when the
+  instance's bottleneck utilization stays below a low-water mark
+  (defaults to 30%) -- the dual of the saturation labeling.
+- :class:`RightsizingModel` -- the pair of classifiers (saturation +
+  over-provisioning) with a three-way verdict per instance:
+  ``scale_out`` / ``hold`` / ``scale_in``.
+- :class:`Rightsizer` -- conservative replica-count recommendation: a
+  service scales in only when *every* replica has voted scale-in for
+  ``consecutive_ticks`` in a row; a single saturation vote resets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import MonitorlessModel
+
+__all__ = [
+    "label_overprovisioning",
+    "RightsizingModel",
+    "Rightsizer",
+    "Recommendation",
+]
+
+
+def label_overprovisioning(
+    utilizations: np.ndarray, *, low_water_mark: float = 0.30
+) -> np.ndarray:
+    """Binary over-provisioning labels from bottleneck utilizations.
+
+    ``utilizations`` holds each sample's *maximum* per-resource
+    utilization (0-1 scale, >1 = oversubscribed); anything below the
+    low-water mark wastes most of its allocation.
+    """
+    utilizations = np.asarray(utilizations, dtype=np.float64)
+    if not 0.0 < low_water_mark < 1.0:
+        raise ValueError("low_water_mark must be in (0, 1).")
+    return (utilizations < low_water_mark).astype(np.int64)
+
+
+class RightsizingModel:
+    """Saturation + over-provisioning classifiers over platform metrics.
+
+    Both are :class:`MonitorlessModel` instances and train on the same
+    raw metric matrix; the over-provisioning model uses labels from
+    :func:`label_overprovisioning`.
+    """
+
+    SCALE_OUT = "scale_out"
+    HOLD = "hold"
+    SCALE_IN = "scale_in"
+
+    def __init__(
+        self,
+        saturation_model: MonitorlessModel | None = None,
+        overprovisioning_model: MonitorlessModel | None = None,
+        scale_in_threshold: float = 0.7,
+    ):
+        """``scale_in_threshold`` is deliberately above the saturation
+        model's 0.4: scaling in must be *conservative* (section 5)."""
+        if not 0.0 < scale_in_threshold < 1.0:
+            raise ValueError("scale_in_threshold must be in (0, 1).")
+        self.saturation = saturation_model or MonitorlessModel()
+        self.overprovisioning = overprovisioning_model or MonitorlessModel(
+            prediction_threshold=scale_in_threshold
+        )
+        self.scale_in_threshold = scale_in_threshold
+
+    def fit(
+        self,
+        X: np.ndarray,
+        meta,
+        y_saturated: np.ndarray,
+        y_overprovisioned: np.ndarray,
+        groups=None,
+    ) -> "RightsizingModel":
+        conflicting = np.asarray(y_saturated) & np.asarray(y_overprovisioned)
+        if conflicting.any():
+            raise ValueError(
+                "A sample cannot be both saturated and overprovisioned; "
+                f"{int(conflicting.sum())} conflicting labels."
+            )
+        self.saturation.fit(X, meta, y_saturated, groups)
+        self.overprovisioning.fit(X, meta, y_overprovisioned, groups)
+        return self
+
+    def verdicts(self, X: np.ndarray, meta, groups=None) -> np.ndarray:
+        """Per-sample three-way verdicts (saturation wins conflicts)."""
+        saturated = self.saturation.predict(X, meta, groups)
+        overprovisioned = self.overprovisioning.predict(X, meta, groups)
+        verdicts = np.full(len(saturated), self.HOLD, dtype=object)
+        verdicts[overprovisioned == 1] = self.SCALE_IN
+        verdicts[saturated == 1] = self.SCALE_OUT  # saturation dominates
+        return verdicts
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Replica-count recommendation for one service."""
+
+    service: str
+    current_replicas: int
+    recommended_replicas: int
+
+    @property
+    def action(self) -> str:
+        if self.recommended_replicas > self.current_replicas:
+            return RightsizingModel.SCALE_OUT
+        if self.recommended_replicas < self.current_replicas:
+            return RightsizingModel.SCALE_IN
+        return RightsizingModel.HOLD
+
+
+@dataclass
+class Rightsizer:
+    """Conservative replica-count recommendation.
+
+    Scale-out fires immediately on any saturated replica (misses are
+    expensive); scale-in requires *all* replicas to vote scale-in for
+    ``consecutive_ticks`` consecutive decisions, and never drops below
+    ``min_replicas``.
+    """
+
+    consecutive_ticks: int = 60
+    min_replicas: int = 1
+    _scale_in_streak: dict[str, int] = field(default_factory=dict)
+
+    def recommend(
+        self, service: str, replica_verdicts: list[str], current_replicas: int
+    ) -> Recommendation:
+        """One decision step for one service."""
+        if current_replicas < 1:
+            raise ValueError("current_replicas must be >= 1.")
+        if len(replica_verdicts) != current_replicas:
+            raise ValueError("One verdict per replica is required.")
+
+        if RightsizingModel.SCALE_OUT in replica_verdicts:
+            self._scale_in_streak[service] = 0
+            return Recommendation(service, current_replicas, current_replicas + 1)
+
+        if all(v == RightsizingModel.SCALE_IN for v in replica_verdicts):
+            streak = self._scale_in_streak.get(service, 0) + 1
+            self._scale_in_streak[service] = streak
+            if (
+                streak >= self.consecutive_ticks
+                and current_replicas > self.min_replicas
+            ):
+                self._scale_in_streak[service] = 0
+                return Recommendation(
+                    service, current_replicas, current_replicas - 1
+                )
+        else:
+            self._scale_in_streak[service] = 0
+        return Recommendation(service, current_replicas, current_replicas)

@@ -1,0 +1,235 @@
+"""Telemetry collection: simulation state -> per-instance metric rows.
+
+Implements the paper's monitoring-agent view: at every tick the agent
+on node ``c`` produces the host metric vector ``H_{c,t}``; each
+container adds its own vector ``V_{I,t}``; the sample for instance
+``I`` is the concatenation ``M_{I,t} = H_{c,t} ++ V_{I,t}``
+(1040 columns with the default catalog).
+
+Metric synthesis is deterministic given the agent seed: every node and
+container gets its own RNG stream keyed by name, so regenerating a
+window yields identical values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.cluster.container import Container
+from repro.cluster.node import Node
+from repro.telemetry.catalog import (
+    CONTAINER_CHANNELS,
+    HOST_CHANNELS,
+    MetricCatalog,
+    default_catalog,
+)
+from repro.telemetry.rates import counters_to_rates
+
+__all__ = ["TelemetryAgent"]
+
+
+def _stream_seed(seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class TelemetryAgent:
+    """Synthesizes PCP-style metrics from recorded container ticks.
+
+    Parameters
+    ----------
+    catalog:
+        Metric catalog; defaults to the 952+88 standard catalog.
+    seed:
+        Base seed for the per-node / per-container noise streams.
+    convert_counters:
+        Apply the counter-to-rate preprocessing (section 3.1) so the
+        returned matrices are rate-valued, as the model expects.
+    """
+
+    def __init__(
+        self,
+        catalog: MetricCatalog | None = None,
+        seed: int = 0,
+        convert_counters: bool = True,
+    ):
+        self.catalog = catalog or default_catalog()
+        self.seed = seed
+        self.convert_counters = convert_counters
+
+    # ------------------------------------------------------------------
+    # State extraction
+    # ------------------------------------------------------------------
+    def host_state(self, node: Node, start: int, end: int) -> np.ndarray:
+        """Host state matrix (ticks ``start..end-1``, channels)."""
+        T = end - start
+        if T <= 0:
+            raise ValueError("end must exceed start.")
+        H = HOST_CHANNELS
+        state = np.zeros((T, len(H)))  # the "one" channel stays 0
+        spec = node.spec
+
+        # OS baseline activity on an otherwise idle host.
+        state[:, H["cpu_util"]] += 1.5
+        state[:, H["pswitch"]] += 900.0
+        state[:, H["tcp_established"]] += 40.0
+        state[:, H["nprocs"]] += 180.0
+        state[:, H["interrupts"]] += 1200.0
+        state[:, H["net_packets"]] += 300.0
+        state[:, H["mem_used_log"]] += np.log1p(0.05 * spec.memory_bytes)
+
+        for container in node.containers:
+            for offset in range(T):
+                tick = container.tick_at(start + offset)
+                if tick is None:
+                    continue
+                used = tick.cpu.used_cores
+                state[offset, H["cpu_util"]] += 100.0 * used / spec.cores
+                state[offset, H["mem_util"]] += (
+                    100.0 * tick.memory.usage_bytes / spec.memory_bytes
+                )
+                disk_bytes = tick.disk_read_bytes + tick.disk_write_bytes
+                state[offset, H["disk_util"]] += (
+                    100.0 * disk_bytes / spec.disk_bandwidth
+                )
+                net_bytes = tick.network_rx_bytes + tick.network_tx_bytes
+                state[offset, H["net_util"]] += (
+                    100.0 * net_bytes / spec.network_bandwidth
+                )
+                state[offset, H["pswitch"]] += 4.0 * tick.throughput
+                state[offset, H["tcp_established"]] += tick.tcp_connections
+                state[offset, H["nprocs"]] += tick.processes
+                state[offset, H["page_in"]] += (
+                    tick.memory.page_in_bytes / 1024.0
+                )
+                state[offset, H["net_packets"]] += net_bytes / 1500.0
+                state[offset, H["interrupts"]] += (
+                    net_bytes / 1500.0 + disk_bytes / 65536.0
+                )
+
+        # Derived channels.
+        state[:, H["disk_aveq"]] = np.maximum(
+            0.05, state[:, H["disk_util"]] / 100.0 * 4.0
+            + state[:, H["page_in"]] / (node.spec.disk_random_bandwidth / 1024.0)
+            * 8.0
+        )
+        state[:, H["io_wait"]] = np.minimum(
+            95.0, state[:, H["disk_aveq"]] * 2.0
+        )
+        state[:, H["load_avg"]] = (
+            state[:, H["cpu_util"]] / 100.0 * spec.cores
+            + state[:, H["disk_aveq"]] * 0.5
+        )
+        state[:, H["mem_used_log"]] = np.log1p(
+            state[:, H["mem_util"]] / 100.0 * spec.memory_bytes
+            + 0.05 * spec.memory_bytes
+        )
+        state[:, H["membw_util"]] = np.minimum(
+            100.0,
+            state[:, H["cpu_util"]] * 0.3 + state[:, H["net_util"]] * 0.2,
+        )
+        state[:, H["cpu_util"]] = np.minimum(state[:, H["cpu_util"]], 100.0)
+        state[:, H["mem_util"]] = np.minimum(state[:, H["mem_util"]], 100.0)
+        return state
+
+    def container_state(
+        self, container: Container, node: Node, start: int, end: int
+    ) -> np.ndarray:
+        """Container state matrix for absolute ticks ``start..end-1``."""
+        T = end - start
+        if T <= 0:
+            raise ValueError("end must exceed start.")
+        C = CONTAINER_CHANNELS
+        state = np.zeros((T, len(C)))  # the "one" channel stays 0
+        state[:, C["periods"]] = 10.0
+        quota = container.cpu_cgroup.quota_cores
+        allocation = quota if quota is not None else float(node.spec.cores)
+        for offset in range(T):
+            tick = container.tick_at(start + offset)
+            if tick is None:
+                continue
+            used = tick.cpu.used_cores
+            state[offset, C["cpu_rel_util"]] = min(100.0, 100.0 * used / allocation)
+            state[offset, C["cpu_host_util"]] = 100.0 * used / node.spec.cores
+            state[offset, C["throttled"]] = tick.cpu.nr_throttled
+            state[offset, C["mem_limit_util"]] = tick.memory.limit_utilization
+            state[offset, C["mem_usage_log"]] = np.log1p(tick.memory.usage_bytes)
+            state[offset, C["rx_log"]] = np.log1p(tick.network_rx_bytes)
+            state[offset, C["tx_log"]] = np.log1p(tick.network_tx_bytes)
+            state[offset, C["connections"]] = tick.tcp_connections
+            state[offset, C["processes"]] = tick.processes
+            state[offset, C["page_in_log"]] = np.log1p(tick.memory.page_in_bytes)
+            state[offset, C["disk_read_log"]] = np.log1p(tick.disk_read_bytes)
+            state[offset, C["disk_write_log"]] = np.log1p(tick.disk_write_bytes)
+        return state
+
+    # ------------------------------------------------------------------
+    # Metric synthesis
+    # ------------------------------------------------------------------
+    def host_metrics(self, node: Node, start: int, end: int) -> np.ndarray:
+        """Host metric matrix ``(T, n_host)`` for one node."""
+        state = self.host_state(node, start, end)
+        rng = np.random.default_rng(_stream_seed(self.seed, f"host:{node.name}:{start}"))
+        values = self.catalog.synthesize(self.catalog.host, state, rng)
+        if self.convert_counters:
+            counter_mask = np.array([s.counter for s in self.catalog.host])
+            values = counters_to_rates(values, counter_mask)
+        return values
+
+    def container_metrics(
+        self, container: Container, node: Node, start: int, end: int
+    ) -> np.ndarray:
+        """Container metric matrix ``(T, n_container)``."""
+        state = self.container_state(container, node, start, end)
+        rng = np.random.default_rng(
+            _stream_seed(self.seed, f"container:{container.name}:{start}")
+        )
+        values = self.catalog.synthesize(self.catalog.container, state, rng)
+        if self.convert_counters:
+            counter_mask = np.array([s.counter for s in self.catalog.container])
+            values = counters_to_rates(values, counter_mask)
+        return values
+
+    def instance_matrix(
+        self,
+        container: Container,
+        nodes: dict[str, Node],
+        start: int | None = None,
+        end: int | None = None,
+    ) -> np.ndarray:
+        """Full per-instance sample matrix ``M_{I,t}`` (host ++ container)."""
+        if container.node is None:
+            raise ValueError(f"Container {container.name} is not placed.")
+        node = nodes[container.node]
+        if start is None:
+            start = container.created_at
+        if end is None:
+            end = container.created_at + len(container.history)
+        host = self.host_metrics(node, start, end)
+        own = self.container_metrics(container, node, start, end)
+        return np.hstack([host, own])
+
+    def utilization_series(
+        self, container: Container, nodes: dict[str, Node]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cpu%, mem%) relative-utilization series for one container.
+
+        This is what the static-threshold baselines consume.  The same
+        measurement noise that the catalog applies to ``C-CPU-U`` /
+        ``C-MEM-U-usage`` is applied here, so the baselines see the
+        monitoring system's view rather than the simulator's exact
+        state.
+        """
+        node = nodes[container.node]
+        start = container.created_at
+        end = start + len(container.history)
+        state = self.container_state(container, node, start, end)
+        C = CONTAINER_CHANNELS
+        rng = np.random.default_rng(
+            _stream_seed(self.seed, f"util:{container.name}")
+        )
+        cpu = state[:, C["cpu_rel_util"]] + rng.normal(0.0, 0.8, end - start)
+        mem = state[:, C["mem_limit_util"]] + rng.normal(0.0, 0.4, end - start)
+        return np.clip(cpu, 0.0, 100.0), np.clip(mem, 0.0, 100.0)

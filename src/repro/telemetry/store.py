@@ -1,0 +1,72 @@
+"""A minimal named time-series frame.
+
+Keeps metric matrices and their column names together without pulling
+in a dataframe dependency; supports column selection, horizontal
+concatenation and vertical stacking of aligned frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MetricFrame"]
+
+
+class MetricFrame:
+    """A ``(T, k)`` float matrix with named columns."""
+
+    def __init__(self, values: np.ndarray, columns: list[str]):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be 2-D (time x metrics).")
+        if values.shape[1] != len(columns):
+            raise ValueError(
+                f"{len(columns)} column names for {values.shape[1]} columns."
+            )
+        if len(set(columns)) != len(columns):
+            raise ValueError("Column names must be unique.")
+        self.values = values
+        self.columns = list(columns)
+        self._index = {name: i for i, name in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a 1-D array (a view)."""
+        if name not in self._index:
+            raise KeyError(f"No column {name!r}.")
+        return self.values[:, self._index[name]]
+
+    def select(self, names: list[str]) -> "MetricFrame":
+        """A new frame with only ``names``, in the given order."""
+        indices = [self._index[n] for n in names]  # KeyError on missing
+        return MetricFrame(self.values[:, indices].copy(), list(names))
+
+    def hstack(self, other: "MetricFrame") -> "MetricFrame":
+        """Concatenate columns of two time-aligned frames."""
+        if len(self) != len(other):
+            raise ValueError("Frames must have the same number of rows.")
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise ValueError(f"Duplicate columns: {sorted(overlap)[:5]}.")
+        return MetricFrame(
+            np.hstack([self.values, other.values]), self.columns + other.columns
+        )
+
+    @staticmethod
+    def vstack(frames: list["MetricFrame"]) -> "MetricFrame":
+        """Stack frames with identical columns along time."""
+        if not frames:
+            raise ValueError("Need at least one frame.")
+        columns = frames[0].columns
+        for frame in frames[1:]:
+            if frame.columns != columns:
+                raise ValueError("All frames must share identical columns.")
+        return MetricFrame(
+            np.vstack([frame.values for frame in frames]), list(columns)
+        )

@@ -1,0 +1,44 @@
+"""Workload-intensity generation.
+
+Every generator produces an arrival-rate series (requests/second,
+one value per one-second tick):
+
+- :mod:`repro.workloads.patterns` -- primitive shapes: constant,
+  linear ramp, sine, noisy sine (the paper's ``sin1000`` /
+  ``sinnoise1000`` Solr profiles), step functions.
+- :mod:`repro.workloads.limbo` -- LIMBO-style composition of seasonal
+  patterns, trends, bursts and noise (von Kistowski et al., 2017).
+- :mod:`repro.workloads.ycsb` -- the YCSB core workload mixes A/B/D/F
+  used to drive Cassandra.
+- :mod:`repro.workloads.locust` -- Locust-style hatch ramps with
+  staggered parallel runs (the Sockshop load of section 4.2.1).
+- :mod:`repro.workloads.traces` -- the bursty, multi-daily-pattern
+  "realistic worst-case" trace driving the TeaStore experiment
+  (Figure 3).
+"""
+
+from repro.workloads.limbo import LimboProfile
+from repro.workloads.locust import locust_ramp, staggered_locust_runs
+from repro.workloads.patterns import (
+    constant,
+    linear_ramp,
+    sine,
+    sinnoise,
+    step_levels,
+)
+from repro.workloads.traces import teastore_trace
+from repro.workloads.ycsb import YCSB_MIXES, YcsbWorkload
+
+__all__ = [
+    "constant",
+    "linear_ramp",
+    "sine",
+    "sinnoise",
+    "step_levels",
+    "LimboProfile",
+    "locust_ramp",
+    "staggered_locust_runs",
+    "teastore_trace",
+    "YcsbWorkload",
+    "YCSB_MIXES",
+]

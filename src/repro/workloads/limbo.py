@@ -1,0 +1,84 @@
+"""LIMBO-style load-intensity profiles (von Kistowski et al., 2017).
+
+LIMBO describes a load profile as the sum of a *seasonal* component
+(repeating daily patterns), a *trend*, *bursts* and *noise*.  The
+paper uses LIMBO via HTTPLoadGenerator for the Solr workloads and the
+TeaStore trace; :class:`LimboProfile` provides the same compositional
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LimboProfile", "Burst"]
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A transient surge: triangular spike centred at ``at`` seconds."""
+
+    at: int
+    width: int
+    height: float
+
+    def series(self, duration: int) -> np.ndarray:
+        if self.width < 1:
+            raise ValueError("Burst width must be >= 1.")
+        t = np.arange(duration)
+        distance = np.abs(t - self.at)
+        shape = np.maximum(0.0, 1.0 - distance / self.width)
+        return self.height * shape
+
+
+@dataclass
+class LimboProfile:
+    """Composable load profile: seasonal + trend + bursts + noise.
+
+    Parameters
+    ----------
+    duration:
+        Length of the run in seconds.
+    base:
+        Offset added everywhere (the profile's minimum level).
+    seasonal_amplitude, seasonal_period:
+        Sinusoidal daily pattern; ``seasonal_period`` in seconds.
+    trend_per_second:
+        Linear drift added over the run.
+    bursts:
+        Transient spikes.
+    noise_std:
+        White-noise standard deviation.
+    seed:
+        RNG seed for the noise component.
+    """
+
+    duration: int
+    base: float = 100.0
+    seasonal_amplitude: float = 0.0
+    seasonal_period: int = 600
+    trend_per_second: float = 0.0
+    bursts: list[Burst] = field(default_factory=list)
+    noise_std: float = 0.0
+    seed: int | None = None
+
+    def generate(self) -> np.ndarray:
+        """Materialise the profile into a requests/second series."""
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1.")
+        t = np.arange(self.duration, dtype=np.float64)
+        series = np.full(self.duration, float(self.base))
+        if self.seasonal_amplitude:
+            series += self.seasonal_amplitude * np.sin(
+                2.0 * np.pi * t / self.seasonal_period - np.pi / 2.0
+            )
+        if self.trend_per_second:
+            series += self.trend_per_second * t
+        for burst in self.bursts:
+            series += burst.series(self.duration)
+        if self.noise_std:
+            rng = np.random.default_rng(self.seed)
+            series += rng.normal(0.0, self.noise_std, size=self.duration)
+        return np.maximum(series, 1.0)

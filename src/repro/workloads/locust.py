@@ -1,0 +1,57 @@
+"""Locust-style hatch ramps (the Sockshop load of section 4.2.1).
+
+Locust slowly "hatches" clients up to a target count, then applies a
+constant load.  The paper starts three 1000-second runs in parallel at
+staggered offsets (after 1000, 3000 and 5000 seconds): each run ramps
+to 700 concurrent clients over 700 seconds and holds for 300 seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["locust_ramp", "staggered_locust_runs"]
+
+
+def locust_ramp(
+    duration: int = 1000,
+    max_clients: int = 700,
+    hatch_seconds: int = 700,
+    requests_per_client: float = 1.0,
+) -> np.ndarray:
+    """One Locust run: linear hatch to ``max_clients`` then constant.
+
+    Returns requests/second: ``clients(t) * requests_per_client``.
+    """
+    if duration < 1 or hatch_seconds < 1:
+        raise ValueError("duration and hatch_seconds must be >= 1.")
+    if hatch_seconds > duration:
+        raise ValueError("hatch_seconds cannot exceed duration.")
+    t = np.arange(duration, dtype=np.float64)
+    clients = np.minimum(t / hatch_seconds, 1.0) * max_clients
+    return np.maximum(clients * requests_per_client, 1.0)
+
+
+def staggered_locust_runs(
+    total_duration: int = 7000,
+    starts: tuple[int, ...] = (1000, 3000, 5000),
+    run_duration: int = 1000,
+    max_clients: int = 700,
+    hatch_seconds: int = 700,
+    requests_per_client: float = 1.0,
+) -> np.ndarray:
+    """Superimpose several staggered Locust runs (the paper's setup).
+
+    The aggregate load therefore has quiet stretches, single-run load
+    and overlap regions where two runs stack.
+    """
+    if total_duration < 1:
+        raise ValueError("total_duration must be >= 1.")
+    series = np.zeros(total_duration)
+    ramp = locust_ramp(run_duration, max_clients, hatch_seconds, requests_per_client)
+    for start in starts:
+        if start < 0 or start >= total_duration:
+            raise ValueError(f"Run start {start} outside [0, {total_duration}).")
+        end = min(start + run_duration, total_duration)
+        series[start:end] += ramp[: end - start]
+    return np.maximum(series, 1.0)

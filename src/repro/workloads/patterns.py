@@ -1,0 +1,90 @@
+"""Primitive workload-intensity shapes.
+
+All functions return a float array of requests/second with one entry
+per one-second tick.  Rates are clipped at a small positive floor so
+that downstream utilization laws never divide by zero on "idle"
+seconds (real load generators also never achieve exactly 0 req/s while
+running).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["constant", "linear_ramp", "sine", "sinnoise", "step_levels"]
+
+_MIN_RATE = 1.0
+
+
+def _finalize(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, _MIN_RATE)
+
+
+def constant(duration: int, rate: float) -> np.ndarray:
+    """Constant target rate (Memcache/Cassandra style runs)."""
+    if duration < 1:
+        raise ValueError("duration must be >= 1.")
+    if rate <= 0:
+        raise ValueError("rate must be positive.")
+    return _finalize(np.full(duration, float(rate)))
+
+
+def linear_ramp(duration: int, start: float, end: float) -> np.ndarray:
+    """Linearly increasing (or decreasing) load; the calibration ramp
+    used for Kneedle threshold discovery (section 2.2)."""
+    if duration < 1:
+        raise ValueError("duration must be >= 1.")
+    return _finalize(np.linspace(start, end, duration))
+
+
+def sine(
+    duration: int,
+    minimum: float = 1.0,
+    maximum: float = 1000.0,
+    periods: float = 2.0,
+) -> np.ndarray:
+    """The paper's ``sin1000``: sine between ``minimum`` and ``maximum``.
+
+    ``periods`` controls how many full oscillations fit in the run.
+    """
+    if duration < 1:
+        raise ValueError("duration must be >= 1.")
+    if maximum <= minimum:
+        raise ValueError("maximum must exceed minimum.")
+    t = np.arange(duration, dtype=np.float64)
+    phase = 2.0 * np.pi * periods * t / duration
+    amplitude = (maximum - minimum) / 2.0
+    midpoint = (maximum + minimum) / 2.0
+    return _finalize(midpoint + amplitude * np.sin(phase - np.pi / 2.0))
+
+
+def sinnoise(
+    duration: int,
+    minimum: float = 1.0,
+    maximum: float = 1000.0,
+    periods: float = 2.0,
+    noise_fraction: float = 0.25,
+    seed=None,
+) -> np.ndarray:
+    """The paper's ``sinnoise1000``: the sine base "massively modified
+    by adding random noise to increase variability".
+
+    ``noise_fraction`` scales the noise amplitude relative to the sine
+    amplitude; noise mixes white and random-walk components so both
+    fast jitter and slow drift appear.
+    """
+    base = sine(duration, minimum, maximum, periods)
+    rng = np.random.default_rng(seed)
+    amplitude = (maximum - minimum) / 2.0 * noise_fraction
+    white = rng.normal(0.0, amplitude * 0.6, size=duration)
+    walk = np.cumsum(rng.normal(0.0, amplitude * 0.08, size=duration))
+    walk -= np.linspace(0.0, walk[-1], duration)  # keep the walk anchored
+    return _finalize(base + white + walk)
+
+
+def step_levels(durations: list[int], rates: list[float]) -> np.ndarray:
+    """Piecewise-constant load (several constant target loads in one run)."""
+    if len(durations) != len(rates) or not durations:
+        raise ValueError("durations and rates must be equal-length, non-empty.")
+    pieces = [constant(d, r) for d, r in zip(durations, rates)]
+    return np.concatenate(pieces)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small synthetic classification data and tiny corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def binary_data():
+    """A learnable nonlinear binary problem: (X_train, y_train, X_test, y_test)."""
+    generator = np.random.default_rng(7)
+    n, d = 1200, 12
+    X = generator.normal(size=(n, d))
+    logits = X[:, 0] + 0.8 * X[:, 1] * X[:, 2] - 0.5 * X[:, 3]
+    y = (logits + 0.1 * generator.normal(size=n) > 0).astype(np.int64)
+    return X[:900], y[:900], X[900:], y[900:]
+
+
+@pytest.fixture(scope="session")
+def linear_data():
+    """A linearly separable problem for the linear models."""
+    generator = np.random.default_rng(11)
+    n, d = 800, 8
+    X = generator.normal(size=(n, d))
+    y = (X @ np.arange(1, d + 1) / d > 0).astype(np.int64)
+    return X[:600], y[:600], X[600:], y[600:]
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A miniature Table-1 training corpus (a few runs, short duration)."""
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+
+    runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+    return build_training_corpus(
+        duration=80, calibration_duration=100, seed=3, runs=runs
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_corpus):
+    """A MonitorlessModel trained on the miniature corpus."""
+    from repro.core.features.pipeline import PipelineConfig
+    from repro.core.model import MonitorlessModel
+
+    model = MonitorlessModel(
+        pipeline_config=PipelineConfig(temporal_windows=(1, 5)),
+        classifier_params={"n_estimators": 15},
+        random_state=0,
+    )
+    model.fit(tiny_corpus.X, tiny_corpus.meta, tiny_corpus.y, tiny_corpus.groups)
+    return model

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_evaluate_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--model", "m.pkl", "--scenario", "netflix"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "m.pkl"])
+        assert args.duration == 300 and args.trees == 60 and args.runs is None
+
+
+class TestInventory:
+    def test_prints_all_25_runs(self):
+        out = io.StringIO()
+        assert main(["inventory"], out=out) == 0
+        text = out.getvalue()
+        assert text.count("\n") == 26  # header + 25 rows
+        assert "sin1000" in text and "IO-Wait" in text
+
+
+class TestTrainEvaluateExplain:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.pkl"
+        out = io.StringIO()
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--duration", "80",
+                "--trees", "10",
+                "--runs", "1", "2", "7", "12",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert path.exists()
+        return path
+
+    def test_train_reports_corpus(self, model_path):
+        # fixture already trained; re-loading must work
+        from repro.core.model import MonitorlessModel
+
+        model = MonitorlessModel.load(model_path)
+        assert model.classifier_ is not None
+
+    def test_evaluate_elgg(self, model_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "evaluate",
+                "--model", str(model_path),
+                "--scenario", "elgg",
+                "--duration", "300",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "monitorless" in text
+        assert "F1_2" in text
+        assert text.count("algorithm=") == 5
+
+    def test_explain(self, model_path):
+        out = io.StringIO()
+        code = main(
+            ["explain", "--model", str(model_path), "--top", "5",
+             "--duration", "60"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "Surrogate scaling rules" in text
+        assert "fidelity" in text

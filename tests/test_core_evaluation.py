@@ -1,0 +1,121 @@
+"""Tests for the lag-tolerant evaluation metrics (paper section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    LaggedConfusion,
+    accuracy_lagged,
+    f1_lagged,
+    lagged_confusion,
+)
+
+
+class TestPlainConfusion:
+    def test_k0_equals_ordinary_confusion(self):
+        y_true = [0, 1, 1, 0, 1]
+        y_pred = [0, 1, 0, 1, 1]
+        confusion = lagged_confusion(y_true, y_pred, k=0)
+        assert (confusion.tn, confusion.fp, confusion.fn, confusion.tp) == (1, 1, 1, 2)
+
+    def test_perfect_prediction(self):
+        y = [0, 1, 0, 1]
+        confusion = lagged_confusion(y, y, k=2)
+        assert confusion.f1 == 1.0 and confusion.accuracy == 1.0
+
+
+class TestEarlyWarningForgiveness:
+    def test_fp_followed_by_saturation_becomes_tn(self):
+        # Prediction fires one step early.
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fp == 0
+        assert confusion.tn == 2  # the early FP was forgiven into TN_2
+
+    def test_fp_with_no_upcoming_saturation_stays_fp(self):
+        y_true = [0, 0, 0, 0, 0]
+        y_pred = [0, 1, 0, 0, 0]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fp == 1
+
+    def test_fp_outside_window_stays_fp(self):
+        y_true = [0, 0, 0, 0, 1]
+        y_pred = [1, 0, 0, 0, 1]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fp == 1  # saturation arrives at distance 4 > k
+
+
+class TestEarlyDetectionForgiveness:
+    def test_fn_with_preceding_positive_becomes_tp(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 0]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fn == 0
+        assert confusion.tp == 2
+
+    def test_late_prediction_not_forgiven(self):
+        """The asymmetry: a prediction *after* the saturation does not
+        rescue the earlier miss (section 4)."""
+        y_true = [1, 1, 0, 0]
+        y_pred = [0, 1, 0, 0]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fn == 1
+
+    def test_fn_outside_window_stays_fn(self):
+        y_true = [0, 0, 0, 0, 1]
+        y_pred = [1, 0, 0, 0, 0]
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.fn == 1
+
+
+class TestScores:
+    def test_f1_matches_formula(self):
+        confusion = LaggedConfusion(tn=10, fp=2, fn=3, tp=5, k=2)
+        assert np.isclose(confusion.f1, 10 / 15)
+
+    def test_accuracy_matches_formula(self):
+        confusion = LaggedConfusion(tn=10, fp=2, fn=3, tp=5, k=2)
+        assert np.isclose(confusion.accuracy, 15 / 20)
+
+    def test_empty_degenerate(self):
+        confusion = LaggedConfusion(tn=0, fp=0, fn=0, tp=0, k=2)
+        assert confusion.f1 == 0.0 and confusion.accuracy == 0.0
+
+    def test_as_row_uses_k_in_names(self):
+        row = LaggedConfusion(tn=1, fp=0, fn=0, tp=1, k=3).as_row()
+        assert "F1_3" in row and "TN_3" in row
+
+    def test_wrappers(self):
+        y_true = [0, 1, 1, 0]
+        y_pred = [0, 1, 1, 0]
+        assert f1_lagged(y_true, y_pred) == 1.0
+        assert accuracy_lagged(y_true, y_pred) == 1.0
+
+
+class TestValidation:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            lagged_confusion([0, 2], [0, 1], k=1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="length"):
+            lagged_confusion([0, 1], [0], k=1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="k must"):
+            lagged_confusion([0], [0], k=-1)
+
+    def test_total_count_preserved(self, rng):
+        """Forgiveness moves samples between cells but never loses them."""
+        y_true = (rng.random(200) > 0.7).astype(int)
+        y_pred = (rng.random(200) > 0.6).astype(int)
+        confusion = lagged_confusion(y_true, y_pred, k=2)
+        assert confusion.tn + confusion.fp + confusion.fn + confusion.tp == 200
+
+    def test_larger_k_never_hurts(self, rng):
+        """More tolerance can only turn FPs/FNs into TNs/TPs."""
+        y_true = (rng.random(300) > 0.8).astype(int)
+        y_pred = np.roll(y_true, 1)  # systematically early by one
+        f1_by_k = [lagged_confusion(y_true, y_pred, k).f1 for k in range(4)]
+        assert all(b >= a - 1e-12 for a, b in zip(f1_by_k, f1_by_k[1:]))

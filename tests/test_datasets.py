@@ -1,0 +1,138 @@
+"""Tests for the Table-1 configurations and corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import GIB
+from repro.datasets.configs import TABLE1_RUNS, run_by_id, sessions
+from repro.datasets.generate import calibrate_threshold, generate_session
+
+# Mapping from Table-1 bottleneck labels to simulator resource names.
+BOTTLENECK_RESOURCE = {
+    "Container-CPU": "cpu",
+    "Host-CPU": "cpu",
+    "IO-Bandwidth": "disk_bandwidth",
+    "IO-Queue": "disk_queue",
+    "IO-Wait": "disk_queue",
+    "Mem-Bandwidth": "memory_bandwidth",
+    "Network-Util": "network",
+}
+
+
+class TestTable1Inventory:
+    def test_twenty_five_runs(self):
+        assert len(TABLE1_RUNS) == 25
+        assert [run.run_id for run in TABLE1_RUNS] == list(range(1, 26))
+
+    def test_service_counts_match_paper(self):
+        services = [run.service for run in TABLE1_RUNS]
+        assert services.count("solr") == 6
+        assert services.count("memcache") == 4
+        assert services.count("cassandra") == 15
+
+    def test_parallel_pairs_match_paper(self):
+        pairs = {
+            run.run_id: run.parallel_with
+            for run in TABLE1_RUNS
+            if run.parallel_with is not None
+        }
+        assert pairs == {3: 18, 4: 19, 5: 20, 6: 22, 10: 23,
+                         18: 3, 19: 4, 20: 5, 22: 6, 23: 10}
+
+    def test_limits_of_selected_runs(self):
+        assert run_by_id(1).cpu_limit == 3.0 and run_by_id(1).mem_limit is None
+        assert run_by_id(14).cpu_limit == 20.0
+        assert run_by_id(14).mem_limit == 30 * GIB
+        assert run_by_id(24).cpu_limit == 1.0
+
+    def test_bottleneck_labels_known(self):
+        for run in TABLE1_RUNS:
+            assert run.bottleneck in BOTTLENECK_RESOURCE, run.bottleneck
+
+    def test_workload_patterns(self):
+        assert run_by_id(1).pattern == "sin"
+        assert run_by_id(3).pattern == "sinnoise"
+        assert run_by_id(23).pattern == "constant"
+        series = run_by_id(12).workload(120, seed=0)
+        assert series.shape == (120,)
+        assert series.min() >= run_by_id(12).rate_low * 0.99
+
+    def test_application_factories(self):
+        assert run_by_id(2).application().name == "solr"
+        cassandra = run_by_id(24).application()
+        assert cassandra.services["cassandra"].serial_io_seconds > 0
+
+    def test_sessions_pair_parallel_runs(self):
+        grouped = sessions()
+        sizes = sorted(len(group) for group in grouped)
+        assert sizes.count(2) == 5  # five interference pairs
+        by_first = {group[0].run_id: group for group in grouped if len(group) == 2}
+        assert {run.run_id for run in by_first[3]} == {3, 18}
+
+    def test_sessions_cover_every_run_once(self):
+        ids = [run.run_id for group in sessions() for run in group]
+        assert sorted(ids) == list(range(1, 26))
+
+
+class TestCalibration:
+    def test_solr_threshold_near_capacity(self):
+        threshold, ramp, observed = calibrate_threshold(
+            run_by_id(2), duration=200, seed=0
+        )
+        # Unlimited Solr capacity is ~800 req/s.
+        assert 700.0 < threshold < 810.0
+
+    def test_quota_shrinks_threshold(self):
+        limited, _, _ = calibrate_threshold(run_by_id(1), duration=150, seed=0)
+        unlimited, _, _ = calibrate_threshold(run_by_id(2), duration=150, seed=0)
+        assert limited < unlimited / 5
+
+    def test_constant_low_rate_run_calibrates_past_range(self):
+        """Run 25 (Cassandra F at 20 req/s) saturates near 200 req/s;
+        the adaptive ramp must extend past the configured range."""
+        threshold, _, _ = calibrate_threshold(run_by_id(25), duration=150, seed=0)
+        assert threshold > 100.0
+
+
+class TestGeneratedSessions:
+    @pytest.mark.parametrize("run_id", [1, 7, 9, 11, 14, 24])
+    def test_observed_bottleneck_matches_table1(self, run_id):
+        config = run_by_id(run_id)
+        labeled = generate_session(
+            (config,), duration=100, calibration_duration=120, seed=0
+        )
+        run = labeled[0]
+        assert run.observed_bottleneck == BOTTLENECK_RESOURCE[config.bottleneck]
+
+    def test_labels_binary_and_plausible(self):
+        labeled = generate_session(
+            (run_by_id(12),), duration=100, calibration_duration=120, seed=0
+        )[0]
+        assert set(np.unique(labeled.y)) <= {0, 1}
+        assert 0.05 < labeled.saturated_fraction < 0.95
+
+    def test_interference_session_produces_both_runs(self):
+        pair = (run_by_id(10), run_by_id(23))
+        labeled = generate_session(
+            pair, duration=80, calibration_duration=100, seed=0
+        )
+        assert {run.config.run_id for run in labeled} == {10, 23}
+        for run in labeled:
+            assert run.X.shape[0] == run.y.shape[0] == 80
+
+    def test_corpus_fixture_shape(self, tiny_corpus):
+        assert tiny_corpus.X.shape[1] == 1040
+        assert tiny_corpus.X.shape[0] == tiny_corpus.y.shape[0]
+        assert tiny_corpus.groups.shape == tiny_corpus.y.shape
+        assert len(tiny_corpus.meta) == 1040
+        assert 0.1 < tiny_corpus.saturated_fraction < 0.9
+
+    def test_corpus_groups_are_run_ids(self, tiny_corpus):
+        assert set(np.unique(tiny_corpus.groups)) == {1, 2, 7, 9, 12, 24}
+
+    def test_summary_structure(self, tiny_corpus):
+        summary = tiny_corpus.summary()
+        assert len(summary) == 6
+        assert {"run", "service", "saturated", "observed_bottleneck"} <= set(
+            summary[0]
+        )

@@ -1,0 +1,98 @@
+"""Tests for edge offloading and additional policy behaviours."""
+
+import pytest
+
+from repro.apps.teastore import teastore_application
+from repro.cluster.simulation import ClusterSimulation
+from repro.datasets.experiments import evaluation_nodes, teastore_placements
+from repro.orchestrator.edge import EdgeDeployment, TrafficAccount
+from repro.telemetry.agent import TelemetryAgent
+
+
+@pytest.fixture()
+def teastore_sim():
+    simulation = ClusterSimulation(evaluation_nodes(), seed=0)
+    simulation.deploy(teastore_application(), teastore_placements())
+    return simulation
+
+
+class TestTrafficAccount:
+    def test_reduction_factor(self):
+        account = TrafficAccount(
+            centralized_bytes=1e9, edge_bytes=1e6, samples=1000
+        )
+        assert account.reduction_factor == pytest.approx(1000.0)
+
+    def test_zero_edge_bytes_infinite(self):
+        account = TrafficAccount(centralized_bytes=1.0, edge_bytes=0.0, samples=1)
+        assert account.reduction_factor == float("inf")
+
+    def test_summary_keys(self):
+        account = TrafficAccount(2e6, 1e3, 10)
+        assert set(account.summary()) == {"centralized_MB", "edge_MB", "reduction"}
+
+
+class TestEdgeDeployment:
+    def test_per_sample_bytes_scale_with_catalog(self, tiny_model, teastore_sim):
+        edge = EdgeDeployment(tiny_model, TelemetryAgent(seed=0))
+        centralized = edge.per_sample_bytes(edge=False)
+        at_edge = edge.per_sample_bytes(edge=True)
+        assert centralized > 1040 * 8  # at least the raw float payload
+        assert at_edge < 100
+
+    def test_account_counts_replicas_and_duration(self, tiny_model, teastore_sim):
+        edge = EdgeDeployment(tiny_model, TelemetryAgent(seed=0))
+        account = edge.account(teastore_sim, "teastore", duration=100)
+        assert account.samples == 7 * 100  # 7 single-replica services
+        assert account.centralized_bytes > account.edge_bytes
+
+    def test_edge_predictions_identical_to_policy(self, tiny_model, teastore_sim):
+        agent = TelemetryAgent(seed=0)
+        edge = EdgeDeployment(tiny_model, agent, window=8)
+        for _ in range(10):
+            teastore_sim.step({"teastore": 200.0})
+        direct = edge.policy.saturated_services(teastore_sim, "teastore", 9)
+        via_edge = edge.saturated_services(teastore_sim, "teastore", 9)
+        assert direct == via_edge
+
+    def test_cpu_overhead_estimate(self, tiny_model):
+        edge = EdgeDeployment(tiny_model, TelemetryAgent(seed=0))
+        assert edge.agent_cpu_overhead_estimate(0.005, 10) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            edge.agent_cpu_overhead_estimate(-1.0, 1)
+
+
+class TestBatchedMonitorlessPolicy:
+    def test_no_history_returns_empty(self, tiny_model, teastore_sim):
+        from repro.orchestrator.policies import MonitorlessPolicy
+
+        policy = MonitorlessPolicy(tiny_model, TelemetryAgent(seed=0), window=8)
+        assert policy.saturated_services(teastore_sim, "teastore", 0) == set()
+
+    def test_batched_matches_per_container_predictions(
+        self, tiny_model, teastore_sim
+    ):
+        """The batched fast path must agree with predicting container by
+        container through the public model API."""
+        from repro.orchestrator.policies import MonitorlessPolicy
+
+        agent = TelemetryAgent(seed=0)
+        policy = MonitorlessPolicy(tiny_model, agent, window=8)
+        for _ in range(12):
+            teastore_sim.step({"teastore": 700.0})
+        batched = policy.saturated_services(teastore_sim, "teastore", 11)
+
+        expected = set()
+        meta = agent.catalog.feature_meta()
+        deployment = teastore_sim.deployments["teastore"]
+        for service, replicas in deployment.instances.items():
+            for instance in replicas:
+                container = instance.container
+                end = container.created_at + len(container.history)
+                start = max(container.created_at, end - 8)
+                window = agent.instance_matrix(
+                    container, teastore_sim.nodes, start=start, end=end
+                )
+                if tiny_model.predict(window, meta)[-1] == 1:
+                    expected.add(service)
+        assert batched == expected

@@ -1,0 +1,114 @@
+"""Tests for the estimator plumbing in repro.ml.base."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import (
+    BaseEstimator,
+    NotFittedError,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+    clone,
+    compute_sample_weight,
+)
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        assert _Toy(alpha=2.0).get_params() == {"alpha": 2.0, "beta": "x"}
+
+    def test_set_params_roundtrip(self):
+        toy = _Toy().set_params(alpha=5.0, beta="y")
+        assert toy.alpha == 5.0 and toy.beta == "y"
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            _Toy().set_params(gamma=1)
+
+    def test_clone_copies_params_not_state(self):
+        toy = _Toy(alpha=3.0)
+        toy.fitted_ = True
+        copy = clone(toy)
+        assert copy.alpha == 3.0
+        assert not hasattr(copy, "fitted_")
+
+    def test_repr_contains_params(self):
+        assert "alpha=3.0" in repr(_Toy(alpha=3.0))
+
+
+class TestValidation:
+    def test_check_array_rejects_1d(self):
+        with pytest.raises(ValueError, match="2D"):
+            check_array(np.zeros(5))
+
+    def test_check_array_rejects_nan(self):
+        X = np.zeros((3, 2))
+        X[1, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_array(X)
+
+    def test_check_array_rejects_inf(self):
+        X = np.zeros((3, 2))
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            check_array(X)
+
+    def test_check_X_y_length_mismatch(self):
+        with pytest.raises(ValueError, match="samples"):
+            check_X_y(np.zeros((4, 2)), np.zeros(3))
+
+    def test_check_X_y_flattens_y(self):
+        _, y = check_X_y(np.zeros((4, 2)), np.zeros((4, 1)))
+        assert y.ndim == 1
+
+    def test_check_X_y_empty(self):
+        with pytest.raises(ValueError, match="0 samples"):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+    def test_check_is_fitted(self):
+        toy = _Toy()
+        with pytest.raises(NotFittedError):
+            check_is_fitted(toy, "coef_")
+        toy.coef_ = np.ones(2)
+        check_is_fitted(toy, "coef_")  # no raise
+
+
+class TestRandomState:
+    def test_accepts_int(self):
+        assert isinstance(check_random_state(3), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+
+class TestSampleWeight:
+    def test_none_weight_is_uniform(self):
+        y = np.array([0, 0, 1])
+        assert np.allclose(compute_sample_weight(None, y), 1.0)
+
+    def test_balanced_weights_rebalance(self):
+        y = np.array([0, 0, 0, 1])
+        weights = compute_sample_weight("balanced", y)
+        # Total weight per class must be equal.
+        assert np.isclose(weights[y == 0].sum(), weights[y == 1].sum())
+
+    def test_dict_weights(self):
+        y = np.array([0, 1, 1])
+        weights = compute_sample_weight({0: 2.0, 1: 0.5}, y)
+        assert np.allclose(weights, [2.0, 0.5, 0.5])
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            compute_sample_weight("bogus", np.array([0, 1]))

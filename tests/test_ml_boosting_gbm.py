@@ -1,0 +1,121 @@
+"""Tests for AdaBoost and the XGBoost-style gradient booster."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.gbm import GradientBoostingClassifier
+from repro.ml.metrics import accuracy_score
+
+
+class TestAdaBoost:
+    @pytest.mark.parametrize("algorithm", ["SAMME", "SAMME.R"])
+    def test_learns_nonlinear_problem(self, algorithm, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        model = AdaBoostClassifier(
+            n_estimators=30, algorithm=algorithm, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.85
+
+    def test_boosting_improves_on_stump(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        stump = AdaBoostClassifier(n_estimators=1, random_state=0)
+        boosted = AdaBoostClassifier(n_estimators=40, random_state=0)
+        stump.fit(X_train, y_train)
+        boosted.fit(X_train, y_train)
+        assert boosted.score(X_test, y_test) > stump.score(X_test, y_test)
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            AdaBoostClassifier(algorithm="SAMME.X").fit(
+                np.zeros((4, 1)), [0, 1, 0, 1]
+            )
+
+    def test_proba_is_distribution(self, binary_data):
+        X_train, y_train, X_test, _ = binary_data
+        model = AdaBoostClassifier(n_estimators=10, random_state=0)
+        model.fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_dt_parameters_forwarded(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        model = AdaBoostClassifier(
+            n_estimators=5,
+            DT_criterion="entropy",
+            DT_min_samples_split=20,
+            DT_max_depth=2,
+            random_state=0,
+        ).fit(X_train, y_train)
+        assert all(t.criterion == "entropy" for t in model.estimators_)
+        assert all(t.depth_ <= 2 for t in model.estimators_)
+
+    def test_perfectly_separable_stops_early(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(int)
+        model = AdaBoostClassifier(
+            n_estimators=50, algorithm="SAMME", random_state=0
+        ).fit(X, y)
+        assert len(model.estimators_) < 50
+        assert model.score(X, y) == 1.0
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_problem(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        model = GradientBoostingClassifier(
+            n_estimators=40, max_depth=4, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.88
+
+    def test_more_rounds_fit_train_better(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        few = GradientBoostingClassifier(n_estimators=3, max_depth=3, random_state=0)
+        many = GradientBoostingClassifier(n_estimators=40, max_depth=3, random_state=0)
+        few.fit(X_train, y_train)
+        many.fit(X_train, y_train)
+        assert many.score(X_train, y_train) >= few.score(X_train, y_train)
+
+    def test_min_child_weight_regularizes(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        strict = GradientBoostingClassifier(
+            n_estimators=5, max_depth=8, min_child_weight=100.0, random_state=0
+        ).fit(X_train, y_train)
+        loose = GradientBoostingClassifier(
+            n_estimators=5, max_depth=8, min_child_weight=0.1, random_state=0
+        ).fit(X_train, y_train)
+        # A huge min_child_weight must produce shallower effective trees,
+        # hence a worse (or equal) training fit.
+        assert strict.score(X_train, y_train) <= loose.score(X_train, y_train)
+
+    def test_gamma_prunes_splits(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        pruned = GradientBoostingClassifier(
+            n_estimators=3, max_depth=6, gamma=1e9, random_state=0
+        ).fit(X_train, y_train)
+        # With an absurd gamma no split is worth making: every tree is a leaf.
+        assert all(len(t.feature) == 1 for t in pruned.trees_)
+
+    def test_probabilities_monotone_in_score(self, binary_data):
+        X_train, y_train, X_test, _ = binary_data
+        model = GradientBoostingClassifier(
+            n_estimators=10, max_depth=3, random_state=0
+        ).fit(X_train, y_train)
+        scores = model.decision_function(X_test)
+        proba = model.predict_proba(X_test)[:, 1]
+        order = np.argsort(scores)
+        assert np.all(np.diff(proba[order]) >= -1e-12)
+
+    def test_requires_binary(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.arange(30) % 3
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_subsample(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        model = GradientBoostingClassifier(
+            n_estimators=20, max_depth=3, subsample=0.5, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.8

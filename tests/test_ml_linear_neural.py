@@ -1,0 +1,127 @@
+"""Tests for the linear models and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearSVC, LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.neural import MLPClassifier
+
+
+class TestLogisticRegression:
+    def test_learns_linear_problem(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LogisticRegression(max_iter=30, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_probabilities_calibrated_direction(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LogisticRegression(max_iter=30, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)[:, 1]
+        assert proba[y_test == 1].mean() > proba[y_test == 0].mean()
+
+    def test_regularization_shrinks_weights(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        weak = LogisticRegression(C=100.0, max_iter=30, random_state=0)
+        strong = LogisticRegression(C=0.001, max_iter=30, random_state=0)
+        weak.fit(X_train, y_train)
+        strong.fit(X_train, y_train)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError, match="C must"):
+            LogisticRegression(C=-1.0).fit(np.zeros((4, 1)), [0, 1, 0, 1])
+
+    def test_class_weight_balanced_biases_minority(self):
+        generator = np.random.default_rng(5)
+        X = generator.normal(size=(400, 3))
+        y = (X[:, 0] > 1.2).astype(int)  # ~12% positives
+        plain = LogisticRegression(max_iter=20, random_state=0).fit(X, y)
+        balanced = LogisticRegression(
+            max_iter=20, class_weight="balanced", random_state=0
+        ).fit(X, y)
+        assert balanced.predict(X).sum() >= plain.predict(X).sum()
+
+
+class TestLinearSVC:
+    @pytest.mark.parametrize("penalty", ["l1", "l2"])
+    def test_learns_linear_problem(self, penalty, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LinearSVC(penalty=penalty, max_iter=50, random_state=0)
+        model.fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.85
+
+    def test_invalid_penalty(self):
+        with pytest.raises(ValueError, match="penalty"):
+            LinearSVC(penalty="elasticnet").fit(np.zeros((4, 1)), [0, 1, 0, 1])
+
+    def test_decision_function_sign_matches_predict(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        model = LinearSVC(max_iter=30, random_state=0).fit(X_train, y_train)
+        scores = model.decision_function(X_test)
+        assert np.array_equal(model.predict(X_test), (scores >= 0).astype(int))
+
+
+class TestMLP:
+    def test_learns_nonlinear_problem(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        model = MLPClassifier(epochs=30, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.8
+
+    @pytest.mark.parametrize(
+        "activations",
+        [("relu", "relu", "relu"), ("sigmoid", "relu", "linear"),
+         ("relu", "sigmoid", "relu")],
+    )
+    def test_activation_grid_from_paper(self, activations, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        a1, a2, a3 = activations
+        model = MLPClassifier(
+            hidden_units=(16, 8, 4),
+            activation_function1=a1,
+            activation_function2=a2,
+            activation_function3=a3,
+            epochs=20,
+            random_state=0,
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.7
+
+    def test_softmax_hidden_layer_degenerates_to_majority(self, linear_data):
+        """A softmax first hidden layer starves the gradient; the net
+        collapses to (near-)constant output -- consistent with the
+        paper's observation that its NN "only predicts the majority
+        label" (section 3.4)."""
+        X_train, y_train, X_test, y_test = linear_data
+        degenerate = MLPClassifier(
+            hidden_units=(16, 8, 4),
+            activation_function1="softmax",
+            activation_function3="sigmoid",
+            epochs=20,
+            random_state=0,
+        ).fit(X_train, y_train)
+        healthy = MLPClassifier(
+            hidden_units=(16, 8, 4), epochs=20, random_state=0
+        ).fit(X_train, y_train)
+        degenerate_accuracy = accuracy_score(y_test, degenerate.predict(X_test))
+        healthy_accuracy = accuracy_score(y_test, healthy.predict(X_test))
+        assert degenerate_accuracy < healthy_accuracy - 0.15
+
+    def test_unknown_activation_raises(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValueError, match="activation"):
+            MLPClassifier(activation_function1="tanhh", epochs=1).fit(
+                X_train, y_train
+            )
+
+    def test_proba_shape_and_range(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        model = MLPClassifier(epochs=5, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert proba.shape == (len(X_test), 2)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_deterministic_given_seed(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        a = MLPClassifier(epochs=3, random_state=9).fit(X_train, y_train)
+        b = MLPClassifier(epochs=3, random_state=9).fit(X_train, y_train)
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))

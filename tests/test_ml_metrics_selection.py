@@ -1,0 +1,176 @@
+"""Tests for metrics and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    GroupKFold,
+    KFold,
+    ParameterGrid,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_perfect_f1(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_f1_counts_match_definition(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        # TP=2, FP=1, FN=1 -> F1 = 4/6
+        assert np.isclose(f1_score(y_true, y_pred), 4 / 6)
+
+    def test_f1_zero_when_no_positives_predicted_or_present(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_precision_recall(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 1, 1, 0]
+        assert precision_score(y_true, y_pred) == 2 / 3
+        assert recall_score(y_true, y_pred) == 1.0
+
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_classification_report_keys(self):
+        report = classification_report([0, 1], [0, 1])
+        assert {"accuracy", "precision", "recall", "f1", "tp", "fp", "fn", "tn"} <= set(
+            report
+        )
+
+    def test_log_loss_penalizes_confident_errors(self):
+        good = log_loss([1, 0], [0.9, 0.1])
+        bad = log_loss([1, 0], [0.1, 0.9])
+        assert bad > good
+
+    def test_roc_auc_perfect_and_random(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert np.isclose(roc_auc_score([0, 1], [0.5, 0.5]), 0.5)
+
+    def test_roc_auc_single_class_raises(self):
+        with pytest.raises(ValueError, match="single class"):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        folds = list(KFold(n_splits=4).split(np.zeros(20)))
+        assert len(folds) == 4
+        all_valid = np.concatenate([valid for _, valid in folds])
+        assert sorted(all_valid.tolist()) == list(range(20))
+
+    def test_train_valid_disjoint(self):
+        for train, valid in KFold(n_splits=3).split(np.zeros(9)):
+            assert not set(train) & set(valid)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.zeros(3)))
+
+    def test_shuffle_changes_order(self):
+        plain = [v.tolist() for _, v in KFold(3).split(np.zeros(12))]
+        shuffled = [
+            v.tolist()
+            for _, v in KFold(3, shuffle=True, random_state=0).split(np.zeros(12))
+        ]
+        assert plain != shuffled
+
+
+class TestGroupKFold:
+    def test_groups_never_split(self):
+        groups = np.repeat(np.arange(6), 5)
+        for train, valid in GroupKFold(n_splits=3).split(np.zeros(30), groups=groups):
+            assert not set(groups[train]) & set(groups[valid])
+
+    def test_paper_shape_20_train_5_valid(self):
+        """25 runs, 5 folds: each fold validates on 5 runs (section 3.4)."""
+        groups = np.repeat(np.arange(25), 4)
+        for train, valid in GroupKFold(n_splits=5).split(np.zeros(100), groups=groups):
+            assert len(set(groups[valid])) == 5
+            assert len(set(groups[train])) == 20
+
+    def test_requires_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(2).split(np.zeros(4)))
+
+    def test_too_few_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(3).split(np.zeros(4), groups=[0, 0, 1, 1]))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.2, random_state=0)
+        assert len(X_test) == 20 and len(X_train) == 80
+
+    def test_multiple_arrays_aligned(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_size=0.3, random_state=1
+        )
+        assert np.array_equal(X_train.ravel(), y_train)
+        assert np.array_equal(X_test.ravel(), y_test)
+
+
+class TestGridSearch:
+    def test_parameter_grid_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in list(grid)
+
+    def test_grid_search_selects_better_C(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        search = GridSearchCV(
+            estimator=LogisticRegression(max_iter=10, random_state=0),
+            param_grid={"C": [1e-6, 1.0]},
+            cv=KFold(3),
+            scoring="f1",
+        ).fit(X_train, y_train)
+        assert search.best_params_["C"] == 1.0
+        assert len(search.results_) == 2
+
+    def test_best_estimator_is_refit(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        search = GridSearchCV(
+            estimator=LogisticRegression(max_iter=10, random_state=0),
+            param_grid={"C": [1.0]},
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, search.predict(X_test)) > 0.85
+
+    def test_cross_val_score_grouped(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        groups = np.arange(len(y_train)) % 6
+        scores = cross_val_score(
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            X_train,
+            y_train,
+            cv=GroupKFold(3),
+            groups=groups,
+        )
+        assert scores.shape == (3,)
+        assert np.all(scores > 0.7)

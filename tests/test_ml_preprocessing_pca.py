@@ -1,0 +1,123 @@
+"""Tests for the scalers and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml.decomposition import PCA
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestMinMaxScaler:
+    def test_transforms_to_unit_range(self, rng):
+        X = rng.normal(10.0, 5.0, size=(100, 4))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        scaled = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert np.allclose(scaled.min(axis=0), -1.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_constant_feature_no_division_by_zero(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(30, 3))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_coverage_gaps_detects_undertrained_features(self, rng):
+        """The section-3.2.3 training-set-improvement check."""
+        X_train = rng.uniform(0, 1, size=(100, 3))
+        X_valid = X_train.copy()
+        X_valid[:, 1] = rng.uniform(2, 3, size=100)  # outside training range
+        scaler = MinMaxScaler().fit(X_train)
+        gaps = scaler.coverage_gaps(X_valid)
+        assert list(gaps) == [1]
+
+    def test_coverage_gaps_empty_when_covered(self, rng):
+        X = rng.uniform(0, 1, size=(100, 3))
+        scaler = MinMaxScaler().fit(X)
+        assert scaler.coverage_gaps(X * 0.5 + 0.25).size == 0
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = MinMaxScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.normal(size=(10, 4)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_passes_through(self):
+        X = np.full((20, 1), 7.0)
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled, 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 5))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_without_mean_or_std(self, rng):
+        X = rng.normal(3.0, 2.0, size=(50, 2))
+        no_mean = StandardScaler(with_mean=False).fit_transform(X)
+        assert not np.allclose(no_mean.mean(axis=0), 0.0, atol=0.1)
+        no_std = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(no_std.mean(axis=0), 0.0, atol=1e-10)
+
+
+class TestPCA:
+    def test_reconstruction_with_all_components(self, rng):
+        X = rng.normal(size=(60, 5))
+        pca = PCA().fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(reconstructed, X, atol=1e-8)
+
+    def test_variance_fraction_selection(self, rng):
+        # Data with 2 dominant directions out of 10.
+        latent = rng.normal(size=(300, 2)) * np.array([10.0, 5.0])
+        mixing = rng.normal(size=(2, 10))
+        X = latent @ mixing + 0.01 * rng.normal(size=(300, 10))
+        pca = PCA(n_components=0.99).fit(X)
+        assert pca.n_components_ == 2
+
+    def test_explained_variance_ratio_sorted_and_bounded(self, rng):
+        X = rng.normal(size=(80, 6))
+        pca = PCA().fit(X)
+        ratio = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratio) <= 1e-12)
+        assert 0.999 <= ratio.sum() <= 1.001
+
+    def test_components_are_orthonormal(self, rng):
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_int_components_capped_by_rank(self, rng):
+        X = rng.normal(size=(10, 4))
+        pca = PCA(n_components=99).fit(X)
+        assert pca.n_components_ <= 4
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError, match="n_components"):
+            PCA(n_components=1.5).fit(rng.normal(size=(10, 3)))
+
+    def test_transform_feature_mismatch(self, rng):
+        pca = PCA(n_components=2).fit(rng.normal(size=(20, 4)))
+        with pytest.raises(ValueError, match="features"):
+            pca.transform(rng.normal(size=(5, 3)))

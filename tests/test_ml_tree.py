@@ -1,0 +1,126 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestFitting:
+    def test_memorizes_clean_data(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(random_state=0)
+        tree.fit(X_train, y_train)
+        assert tree.score(X_train, y_train) > 0.99
+
+    def test_generalizes(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        tree = DecisionTreeClassifier(max_depth=8, random_state=0)
+        tree.fit(X_train, y_train)
+        assert accuracy_score(y_test, tree.predict(X_test)) > 0.8
+
+    def test_entropy_criterion_works(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        tree = DecisionTreeClassifier(criterion="entropy", max_depth=8, random_state=0)
+        tree.fit(X_train, y_train)
+        assert accuracy_score(y_test, tree.predict(X_test)) > 0.8
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError, match="criterion"):
+            DecisionTreeClassifier(criterion="mse").fit(np.zeros((4, 1)), [0, 1, 0, 1])
+
+    def test_single_class_becomes_leaf(self):
+        tree = DecisionTreeClassifier()
+        tree.fit(np.arange(6).reshape(-1, 1), np.zeros(6))
+        assert tree.n_nodes_ == 1
+        assert np.all(tree.predict(np.array([[0.0], [99.0]])) == 0)
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["ok", "ok", "sat", "sat"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == ["ok", "ok", "sat", "sat"]
+
+
+class TestStructureConstraints:
+    def test_max_depth_respected(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X_train, y_train)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(min_samples_leaf=50, random_state=0)
+        tree.fit(X_train, y_train)
+        # Every leaf's training share must be at least min_samples_leaf,
+        # so the tree cannot have more than n/50 leaves.
+        n_leaves = int(np.sum(tree.tree_feature_ == -1))
+        assert n_leaves <= len(y_train) // 50
+
+    def test_min_samples_split_blocks_small_nodes(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier(min_samples_split=100).fit(X, y)
+        assert tree.n_nodes_ == 1  # root cannot split
+
+    def test_stump_prediction_shape(self, binary_data):
+        X_train, y_train, X_test, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X_train, y_train)
+        proba = tree.predict_proba(X_test)
+        assert proba.shape == (len(X_test), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestImportances:
+    def test_importances_sum_to_one(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(X_train, y_train)
+        assert np.isclose(tree.feature_importances_.sum(), 1.0)
+
+    def test_informative_feature_ranks_first(self):
+        generator = np.random.default_rng(0)
+        X = generator.normal(size=(500, 5))
+        y = (X[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+
+
+class TestSampleWeights:
+    def test_weights_shift_decision(self):
+        # Two overlapping points; weighting one class heavily must win.
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 1, 0, 1])
+        weights = np.array([10.0, 0.1, 10.0, 0.1])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=weights)
+        assert np.all(tree.predict(X) == 0)
+
+    def test_class_weight_balanced_accepted(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(class_weight="balanced", max_depth=4,
+                                      random_state=0)
+        tree.fit(X_train, y_train)
+        assert tree.score(X_train, y_train) > 0.7
+
+
+class TestErrors:
+    def test_predict_before_fit(self):
+        with pytest.raises(Exception, match="not fitted"):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X_train, y_train)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.zeros((2, 3)))
+
+    def test_max_features_sqrt(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_features="sqrt", random_state=0)
+        tree.fit(X_train, y_train)
+        assert tree.score(X_train, y_train) > 0.9
+
+    def test_bad_max_features(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features="bogus").fit(X_train, y_train)

@@ -1,0 +1,117 @@
+"""Property-based and invariant tests for the simulation engine and
+the ML substrate's structural guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.solr import solr_application
+from repro.cluster.node import MACHINES
+from repro.cluster.simulation import ClusterSimulation, Placement
+from repro.ml.tree import DecisionTreeClassifier
+from repro.workloads.patterns import constant
+
+
+def run_solr(rates, cpu_limit=None, seed=0):
+    simulation = ClusterSimulation({"training": MACHINES["training"]}, seed=seed)
+    simulation.deploy(
+        solr_application(),
+        {"solr": [Placement(node="training", cpu_limit=cpu_limit)]},
+    )
+    for rate in rates:
+        simulation.step({"solr": float(rate)})
+    return simulation.result()
+
+
+class TestEngineInvariants:
+    @given(
+        st.lists(st.floats(1.0, 3000.0, allow_nan=False), min_size=3, max_size=25)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_throughput_never_exceeds_offered_cumulative(self, rates):
+        """Work conservation: total completions never exceed arrivals."""
+        result = run_solr(rates)
+        completed = result.kpi("solr", "throughput").sum()
+        offered = result.kpi("solr", "offered").sum()
+        assert completed <= offered + 1e-6 * (1 + offered)
+
+    @given(
+        st.lists(st.floats(1.0, 3000.0, allow_nan=False), min_size=3, max_size=25)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kpis_finite_and_nonnegative(self, rates):
+        result = run_solr(rates)
+        for name in ("throughput", "response_time", "dropped"):
+            series = result.kpi("solr", name)
+            assert np.all(np.isfinite(series))
+            assert np.all(series >= 0.0)
+
+    @given(st.floats(50.0, 2000.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_quota_never_reduces_throughput(self, rate):
+        small = run_solr([rate] * 10, cpu_limit=2.0)
+        large = run_solr([rate] * 10, cpu_limit=8.0)
+        assert (
+            large.kpi("solr", "throughput")[-1]
+            >= small.kpi("solr", "throughput")[-1] - 1e-6
+        )
+
+    @given(st.floats(1.0, 700.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_light_load_served_in_full(self, rate):
+        """Below the 800 req/s knee the service keeps up exactly."""
+        result = run_solr([rate] * 12)
+        assert result.kpi("solr", "throughput")[-1] == pytest.approx(
+            rate, rel=0.05
+        )
+
+    def test_response_time_monotone_in_load_on_average(self):
+        rates = [100.0, 400.0, 780.0, 1200.0]
+        values = []
+        for rate in rates:
+            result = run_solr([rate] * 15)
+            values.append(result.kpi("solr", "response_time")[-1])
+        assert values == sorted(values)
+
+    def test_container_history_length_matches_clock(self):
+        result = run_solr(constant(17, 100.0))
+        assert all(len(c.history) == 17 for c in result.containers)
+
+
+class TestTreeStructuralGuarantees:
+    @given(
+        st.integers(1, 6),
+        st.integers(10, 200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_are_distributions(self, depth, n):
+        rng = np.random.default_rng(depth * 1000 + n)
+        X = rng.normal(size=(n, 4))
+        y = (X[:, 0] > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        tree = DecisionTreeClassifier(max_depth=depth, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0.0)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_depth_bound_always_respected(self, depth):
+        rng = np.random.default_rng(depth)
+        X = rng.normal(size=(300, 6))
+        y = (X @ rng.normal(size=6) > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=depth, random_state=0).fit(X, y)
+        assert tree.depth_ <= depth
+
+    def test_prediction_invariant_under_row_order(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        order = rng.permutation(50)
+        X_test = rng.normal(size=(50, 3))
+        assert np.array_equal(
+            tree.predict(X_test)[order], tree.predict(X_test[order])
+        )

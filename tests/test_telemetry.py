@@ -1,0 +1,210 @@
+"""Tests for the telemetry substrate: catalog, agent, rates, store."""
+
+import numpy as np
+import pytest
+
+from repro.apps.memcache import memcache_application
+from repro.apps.solr import solr_application
+from repro.cluster.node import MACHINES
+from repro.cluster.resources import GIB
+from repro.cluster.simulation import ClusterSimulation, Placement
+from repro.core.features.meta import Scope
+from repro.telemetry.agent import TelemetryAgent
+from repro.telemetry.catalog import (
+    N_CONTAINER_METRICS,
+    N_HOST_METRICS,
+    default_catalog,
+)
+from repro.telemetry.rates import counters_to_rates, to_percent
+from repro.telemetry.store import MetricFrame
+from repro.workloads.patterns import constant, linear_ramp
+
+
+@pytest.fixture(scope="module")
+def solr_run():
+    sim = ClusterSimulation({"training": MACHINES["training"]}, seed=1)
+    sim.deploy(
+        solr_application(),
+        {"solr": [Placement(node="training", cpu_limit=3.0)]},
+    )
+    return sim.run({"solr": linear_ramp(120, 1, 120)})
+
+
+class TestCatalog:
+    def test_paper_metric_counts(self):
+        catalog = default_catalog()
+        assert catalog.n_host == N_HOST_METRICS == 952
+        assert catalog.n_container == N_CONTAINER_METRICS == 88
+        assert catalog.n_metrics == 1040
+
+    def test_table4_metrics_present(self):
+        """Every metric named in the paper's Table 4 exists."""
+        names = set(default_catalog().names())
+        for required in [
+            "network.tcp.currestab",
+            "hinv.ninterface",
+            "kernel.all.pswitch",
+            "mem.vmstat.nr_inactive_anon",
+            "network.tcpconn.established",
+            "network.sockstat.tcp.inuse",
+            "cgroup.cpusched.periods",
+            "cgroup.cpusched.throttled",
+            "kernel.all.nprocs",
+            "mem.vmstat.nr_kernel_stack",
+            "vfs.inodes.free",
+            "mem.vmstat.pgpgin",
+            "mem.vmstat.nr_inactive_file",
+            "disk.all.aveq",
+            "C-CPU-U",
+            "C-MEM-U-usage",
+            "S-MEM-U-mapped",
+            "S-MEM-U-active_file",
+        ]:
+            assert required in names, required
+
+    def test_unique_names(self):
+        names = default_catalog().names()
+        assert len(names) == len(set(names))
+
+    def test_exactly_four_utilization_sources(self):
+        """Host/container CPU and memory -> the 16 binary features."""
+        meta = default_catalog().feature_meta()
+        utilization = [m for m in meta if m.utilization]
+        assert len(utilization) == 4
+        scopes = {(m.scope, m.domain.value) for m in utilization}
+        assert (Scope.HOST, "cpu") in scopes
+        assert (Scope.CONTAINER, "memory") in scopes
+
+    def test_meta_order_host_then_container(self):
+        meta = default_catalog().feature_meta()
+        assert all(m.scope == Scope.HOST for m in meta[:952])
+        assert all(m.scope == Scope.CONTAINER for m in meta[952:])
+
+
+class TestAgent:
+    def test_instance_matrix_shape_and_finiteness(self, solr_run):
+        agent = TelemetryAgent(seed=0)
+        matrix = agent.instance_matrix(solr_run.containers[0], solr_run.nodes)
+        assert matrix.shape == (120, 1040)
+        assert np.all(np.isfinite(matrix))
+
+    def test_deterministic_per_seed(self, solr_run):
+        container = solr_run.containers[0]
+        a = TelemetryAgent(seed=5).instance_matrix(container, solr_run.nodes)
+        b = TelemetryAgent(seed=5).instance_matrix(container, solr_run.nodes)
+        c = TelemetryAgent(seed=6).instance_matrix(container, solr_run.nodes)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_cpu_metric_responds_to_load(self, solr_run):
+        agent = TelemetryAgent(seed=0)
+        catalog = agent.catalog
+        matrix = agent.instance_matrix(solr_run.containers[0], solr_run.nodes)
+        index = catalog.names().index("C-CPU-U")
+        series = matrix[:, index]
+        # Load ramps 1 -> 120 against a ~50 req/s capacity: the relative
+        # CPU utilization must rise to (nearly) 100%.
+        assert series[:10].mean() < 30.0
+        assert series[-10:].mean() > 90.0
+
+    def test_throttling_appears_when_over_quota(self, solr_run):
+        agent = TelemetryAgent(seed=0)
+        matrix = agent.instance_matrix(solr_run.containers[0], solr_run.nodes)
+        index = agent.catalog.names().index("cgroup.cpusched.throttled")
+        assert matrix[-10:, index].mean() > 1.0  # throttled periods/s
+        assert matrix[:5, index].mean() < 1.0
+
+    def test_constant_metric_constant(self, solr_run):
+        agent = TelemetryAgent(seed=0)
+        matrix = agent.instance_matrix(solr_run.containers[0], solr_run.nodes)
+        index = agent.catalog.names().index("hinv.ninterface")
+        assert np.allclose(matrix[:, index], 4.0)
+
+    def test_memory_pressure_drives_pagein_metric(self):
+        sim = ClusterSimulation({"training": MACHINES["training"]}, seed=0)
+        sim.deploy(
+            memcache_application(),
+            {"memcache": [Placement(node="training", memory_limit=4 * GIB)]},
+        )
+        result = sim.run({"memcache": constant(60, 30e3)})
+        agent = TelemetryAgent(seed=0)
+        matrix = agent.instance_matrix(result.containers[0], result.nodes)
+        index = agent.catalog.names().index("mem.vmstat.pgpgin")
+        assert matrix[:, index].mean() > 100.0  # heavy page-in traffic
+
+    def test_window_extraction_matches_full(self, solr_run):
+        """State (pre-noise) must be identical whether extracted whole
+        or in a window; metric noise streams may differ."""
+        agent = TelemetryAgent(seed=0)
+        container = solr_run.containers[0]
+        node = solr_run.nodes["training"]
+        full = agent.container_state(container, node, 0, 120)
+        window = agent.container_state(container, node, 100, 120)
+        assert np.allclose(full[100:120], window)
+
+    def test_utilization_series(self, solr_run):
+        agent = TelemetryAgent(seed=0)
+        cpu, mem = agent.utilization_series(solr_run.containers[0], solr_run.nodes)
+        assert cpu.shape == (120,)
+        assert cpu.max() <= 100.0 and cpu.min() >= 0.0
+
+
+class TestRates:
+    def test_counter_differentiated(self):
+        values = np.array([[0.0], [10.0], [30.0], [60.0]])
+        rates = counters_to_rates(values, np.array([True]))
+        assert rates[:, 0].tolist() == [10.0, 10.0, 20.0, 30.0]
+
+    def test_counter_wrap_clamped(self):
+        values = np.array([[100.0], [5.0], [10.0]])
+        rates = counters_to_rates(values, np.array([True]))
+        assert rates[1, 0] == 0.0
+
+    def test_gauge_columns_untouched(self):
+        values = np.array([[1.0, 5.0], [2.0, 6.0]])
+        rates = counters_to_rates(values, np.array([True, False]))
+        assert rates[:, 1].tolist() == [5.0, 6.0]
+
+    def test_interval_scaling(self):
+        values = np.array([[0.0], [20.0]])
+        rates = counters_to_rates(values, np.array([True]), interval_seconds=2.0)
+        assert rates[1, 0] == 10.0
+
+    def test_to_percent(self):
+        assert to_percent(np.array([5.0]), 10.0)[0] == 50.0
+        assert to_percent(np.array([50.0]), 10.0)[0] == 100.0  # clipped
+
+    def test_to_percent_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            to_percent(np.array([1.0]), 0.0)
+
+
+class TestMetricFrame:
+    def test_column_access(self):
+        frame = MetricFrame(np.arange(6).reshape(3, 2), ["a", "b"])
+        assert frame.column("b").tolist() == [1, 3, 5]
+        with pytest.raises(KeyError):
+            frame.column("c")
+
+    def test_select_reorders(self):
+        frame = MetricFrame(np.arange(6).reshape(3, 2), ["a", "b"])
+        selected = frame.select(["b", "a"])
+        assert selected.columns == ["b", "a"]
+        assert selected.values[0].tolist() == [1, 0]
+
+    def test_hstack_rejects_duplicates(self):
+        frame = MetricFrame(np.zeros((2, 1)), ["a"])
+        with pytest.raises(ValueError, match="Duplicate"):
+            frame.hstack(MetricFrame(np.zeros((2, 1)), ["a"]))
+
+    def test_vstack_requires_same_columns(self):
+        a = MetricFrame(np.zeros((2, 1)), ["a"])
+        b = MetricFrame(np.zeros((2, 1)), ["b"])
+        with pytest.raises(ValueError, match="identical columns"):
+            MetricFrame.vstack([a, b])
+
+    def test_vstack_concatenates(self):
+        a = MetricFrame(np.zeros((2, 1)), ["a"])
+        b = MetricFrame(np.ones((3, 1)), ["a"])
+        stacked = MetricFrame.vstack([a, b])
+        assert stacked.shape == (5, 1)

@@ -1,0 +1,216 @@
+"""Tests for workload generators and application models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    cassandra_application,
+    elgg_application,
+    memcache_application,
+    sockshop_application,
+    solr_application,
+    teastore_application,
+)
+from repro.apps.base import ServiceSpec
+from repro.apps.sockshop import SOCKSHOP_SERVICES
+from repro.apps.teastore import TEASTORE_SERVICES
+from repro.workloads.limbo import Burst, LimboProfile
+from repro.workloads.locust import locust_ramp, staggered_locust_runs
+from repro.workloads.patterns import (
+    constant,
+    linear_ramp,
+    sine,
+    sinnoise,
+    step_levels,
+)
+from repro.workloads.traces import teastore_trace
+from repro.workloads.ycsb import YCSB_MIXES, YcsbMix, YcsbWorkload
+
+
+class TestPatterns:
+    def test_constant(self):
+        series = constant(10, 42.0)
+        assert series.shape == (10,) and np.all(series == 42.0)
+
+    def test_linear_ramp_endpoints(self):
+        series = linear_ramp(100, 10.0, 200.0)
+        assert series[0] == 10.0 and series[-1] == 200.0
+
+    def test_sine_range(self):
+        series = sine(500, 1.0, 1000.0)
+        assert series.min() >= 1.0
+        assert 990.0 <= series.max() <= 1000.0
+
+    def test_sinnoise_noisier_than_sine(self):
+        base = sine(400, 1, 1000)
+        noisy = sinnoise(400, 1, 1000, seed=0)
+        assert np.std(noisy - base) > 10.0
+
+    def test_sinnoise_deterministic(self):
+        assert np.array_equal(sinnoise(100, seed=4), sinnoise(100, seed=4))
+
+    def test_step_levels(self):
+        series = step_levels([3, 2], [10.0, 20.0])
+        assert series.tolist() == [10.0, 10.0, 10.0, 20.0, 20.0]
+
+    def test_floor_at_one(self):
+        assert sine(100, -50.0, 10.0).min() >= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            constant(0, 5.0)
+        with pytest.raises(ValueError):
+            sine(10, 5.0, 5.0)
+
+
+class TestLimbo:
+    def test_components_compose(self):
+        profile = LimboProfile(
+            duration=600,
+            base=100.0,
+            seasonal_amplitude=50.0,
+            trend_per_second=0.1,
+            bursts=[Burst(at=300, width=20, height=200.0)],
+            noise_std=5.0,
+            seed=0,
+        )
+        series = profile.generate()
+        assert series.shape == (600,)
+        assert series[300] > 200.0  # the burst peak
+        assert series[500:].mean() > series[:100].mean()  # the trend
+
+    def test_burst_shape_triangular(self):
+        burst = Burst(at=50, width=10, height=100.0).series(100)
+        assert burst[50] == 100.0
+        assert burst[40] == 0.0 and burst[60] == 0.0
+        assert burst[45] == 50.0
+
+
+class TestYcsb:
+    def test_paper_mixes_present(self):
+        assert set(YCSB_MIXES) == {"A", "B", "D", "F"}
+        assert YCSB_MIXES["A"].read_fraction == 0.5
+        assert YCSB_MIXES["B"].read_fraction == 0.95
+        assert YCSB_MIXES["D"].read_latest
+        assert YCSB_MIXES["F"].read_modify_write
+
+    def test_mix_fractions_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            YcsbMix(name="X", read_fraction=0.9, write_fraction=0.5)
+
+    def test_rmw_costs_most(self):
+        assert (
+            YCSB_MIXES["F"].work_multiplier
+            > YCSB_MIXES["A"].work_multiplier
+            > YCSB_MIXES["B"].work_multiplier
+        )
+
+    def test_sweep_covers_range(self):
+        workload = YcsbWorkload(YCSB_MIXES["B"], duration=600, rate_range=(100, 900))
+        series = workload.generate()
+        assert series.shape == (600,)
+        assert series.min() >= 99.0 and series.max() <= 901.0
+        assert len(np.unique(series)) >= 4  # several plateaus
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload(YCSB_MIXES["B"], 100, (0, 10)).generate()
+
+
+class TestLocust:
+    def test_ramp_then_hold(self):
+        series = locust_ramp(duration=1000, max_clients=700, hatch_seconds=700)
+        assert series[0] <= 2.0
+        assert np.isclose(series[699], 700.0, rtol=0.01)
+        assert np.allclose(series[700:], 700.0)
+
+    def test_staggered_runs_do_not_overlap_by_default(self):
+        series = staggered_locust_runs(total_duration=7000)
+        assert series.max() <= 701.0
+        # Quiet stretch between runs.
+        assert series[2500] <= 1.0
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            staggered_locust_runs(total_duration=100, starts=(200,))
+
+
+class TestTeastoreTrace:
+    def test_shape_and_positivity(self):
+        trace = teastore_trace(duration=3600, seed=0)
+        assert trace.shape == (3600,)
+        assert trace.min() >= 1.0
+
+    def test_bursty(self):
+        trace = teastore_trace(duration=3600, seed=0)
+        assert trace.max() > 2.0 * np.median(trace)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            teastore_trace(duration=1200, seed=3), teastore_trace(duration=1200, seed=3)
+        )
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            teastore_trace(duration=100)
+
+
+class TestServiceSpec:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ServiceSpec(name="bad", cpu_seconds=-1.0)
+
+    def test_zero_visits_rejected(self):
+        with pytest.raises(ValueError, match="visits"):
+            ServiceSpec(name="bad", cpu_seconds=0.1, visits=0.0)
+
+    def test_scaled_copies(self):
+        spec = ServiceSpec(name="s", cpu_seconds=0.1)
+        scaled = spec.scaled(0.5)
+        assert scaled.cpu_seconds == 0.05
+        assert spec.cpu_seconds == 0.1
+
+
+class TestApplications:
+    def test_training_apps_single_service(self):
+        assert solr_application().service_names() == ["solr"]
+        assert memcache_application().service_names() == ["memcache"]
+        assert cassandra_application("A").service_names() == ["cassandra"]
+
+    def test_elgg_three_tiers(self):
+        services = elgg_application().service_names()
+        assert services == ["elgg-web", "innodb", "memcache"]
+
+    def test_teastore_seven_services(self):
+        app = teastore_application()
+        assert tuple(app.service_names()) == TEASTORE_SERVICES
+        assert len(app.services) == 7
+
+    def test_sockshop_fourteen_services(self):
+        app = sockshop_application()
+        assert tuple(app.service_names()) == SOCKSHOP_SERVICES
+        assert len(app.services) == 14
+
+    def test_cassandra_mix_changes_profile(self):
+        read_heavy = cassandra_application("B").services["cassandra"]
+        update_heavy = cassandra_application("A").services["cassandra"]
+        assert update_heavy.net_out_bytes > read_heavy.net_out_bytes
+
+    def test_cassandra_io_heavy_adds_disk(self):
+        light = cassandra_application("B").services["cassandra"]
+        heavy = cassandra_application("B", io_heavy=True).services["cassandra"]
+        assert heavy.disk_read_bytes > light.disk_read_bytes
+
+    def test_cassandra_fsync_bound_serial_io(self):
+        fsync = cassandra_application("F", fsync_bound=True).services["cassandra"]
+        assert fsync.serial_io_seconds == pytest.approx(0.005)
+
+    def test_duplicate_service_rejected(self):
+        app = solr_application()
+        with pytest.raises(ValueError, match="Duplicate"):
+            app.add_service(app.services["solr"])
+
+    def test_end_to_end_requires_all_services(self):
+        app = elgg_application()
+        with pytest.raises(ValueError, match="No instances"):
+            app.end_to_end({"elgg-web": []})
