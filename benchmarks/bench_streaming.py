@@ -1,0 +1,123 @@
+"""Streaming vs batch data path in the closed autoscaling loop.
+
+The batch monitorless policy re-synthesizes and re-transforms a
+16-second sliding window for every container on every tick -- O(window)
+work per container-tick, paid again and again for rows already seen.
+The streaming policy holds one persistent telemetry stream and one
+pipeline stream per container and only pushes the new row -- O(1) per
+container-tick.
+
+This benchmark drives the same TeaStore closed loop through both data
+paths at two trace lengths and records wall-clock times plus the
+speedup to ``BENCH_streaming.json`` at the repository root.  The
+speedup is expected to grow slightly with trace length (longer runs
+amortize the fixed setup) and must be at least 5x at 3000 ticks.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps.teastore import teastore_application
+from repro.cluster.simulation import ClusterSimulation, Placement
+from repro.core.model import MonitorlessModel
+from repro.datasets.configs import run_by_id
+from repro.datasets.experiments import evaluation_nodes, teastore_placements
+from repro.datasets.generate import build_training_corpus
+from repro.orchestrator.autoscaler import ScalingRules
+from repro.orchestrator.loop import Orchestrator
+from repro.orchestrator.policies import MonitorlessPolicy
+from repro.telemetry.agent import TelemetryAgent
+from repro.workloads.patterns import linear_ramp
+
+import pytest
+
+from conftest import SEED
+
+DURATIONS = (300, 3000)
+MIN_SPEEDUP_AT_3000 = 5.0
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    """A quick-to-train model with the paper's full (1, 5, 15) temporal
+    windows, so the batch path's 16-row window is the honest cost."""
+    runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+    corpus = build_training_corpus(
+        duration=80, calibration_duration=100, seed=3, runs=runs
+    )
+    model = MonitorlessModel(
+        classifier_params={"n_estimators": 15}, random_state=SEED
+    )
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    return model
+
+
+def _closed_loop(model, streaming: bool, duration: int):
+    simulation = ClusterSimulation(evaluation_nodes(), seed=SEED)
+    simulation.deploy(teastore_application(), teastore_placements())
+    agent = TelemetryAgent(seed=SEED)
+    policy = MonitorlessPolicy(model, agent, window=16, streaming=streaming)
+    rules = ScalingRules(
+        placements={
+            "auth": Placement(node="M2", cpu_limit=2.0, memory_limit=4 * 2**30),
+            "recommender": Placement(
+                node="M2", cpu_limit=1.0, memory_limit=4 * 2**30
+            ),
+            "webui": Placement(node="M2", cpu_limit=1.0, memory_limit=4 * 2**30),
+        },
+        replica_lifespan=120,
+        scale_groups=(("auth", "recommender"),),
+    )
+    orchestrator = Orchestrator(simulation, "teastore", policy, rules)
+    workload = linear_ramp(duration, 10, 240)
+    started = time.perf_counter()
+    result = orchestrator.run({"teastore": workload})
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_streaming_speedup(benchmark, small_model, table_printer):
+    rows = []
+    record = {"durations": {}}
+    for duration in DURATIONS:
+        batch_result, batch_seconds = _closed_loop(small_model, False, duration)
+        stream_result, stream_seconds = _closed_loop(small_model, True, duration)
+        speedup = batch_seconds / stream_seconds
+        record["durations"][str(duration)] = {
+            "batch_seconds": round(batch_seconds, 3),
+            "streaming_seconds": round(stream_seconds, 3),
+            "speedup": round(speedup, 2),
+            "batch_ticks_per_second": round(duration / batch_seconds, 1),
+            "streaming_ticks_per_second": round(duration / stream_seconds, 1),
+            "batch_slo_violations": batch_result.slo_violation_count,
+            "streaming_slo_violations": stream_result.slo_violation_count,
+            "batch_scale_outs": batch_result.total_scale_outs,
+            "streaming_scale_outs": stream_result.total_scale_outs,
+        }
+        rows.append(
+            {
+                "ticks": duration,
+                "batch_s": f"{batch_seconds:.2f}",
+                "stream_s": f"{stream_seconds:.2f}",
+                "speedup": f"{speedup:.1f}x",
+                "stream_ticks/s": f"{duration / stream_seconds:.0f}",
+            }
+        )
+    table_printer("Streaming vs batch closed-loop data path", rows)
+
+    speedup_at_3000 = record["durations"]["3000"]["speedup"]
+    record["speedup_at_3000"] = speedup_at_3000
+    record["min_required_speedup"] = MIN_SPEEDUP_AT_3000
+    record["generated_utc"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert speedup_at_3000 >= MIN_SPEEDUP_AT_3000
+
+    # Benchmark target: one short streaming closed-loop segment.
+    benchmark.pedantic(
+        lambda: _closed_loop(small_model, True, 300), rounds=1, iterations=1
+    )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 - ``inventory``  -- print the Table-1 training-run inventory;
 - ``train``      -- generate the corpus, train a model, save it;
@@ -8,7 +8,9 @@ Four subcommands cover the common workflows:
   (``elgg`` / ``teastore`` / ``sockshop``) against the tuned
   threshold baselines;
 - ``explain``    -- print a saved model's top features and surrogate
-  scaling rules.
+  scaling rules;
+- ``stream``     -- drive the closed autoscaling loop tick by tick on
+  the streaming (incremental) data path and report throughput.
 
 Examples::
 
@@ -16,6 +18,7 @@ Examples::
     python -m repro train --out model.pkl --duration 300
     python -m repro evaluate --model model.pkl --scenario elgg
     python -m repro explain --model model.pkl --duration 150
+    python -m repro stream --model model.pkl --duration 600
 """
 
 from __future__ import annotations
@@ -61,6 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--duration", type=int, default=150,
                          help="corpus seconds for the surrogate's input")
     explain.add_argument("--seed", type=int, default=0)
+
+    stream = commands.add_parser(
+        "stream", help="run the per-tick streaming closed loop"
+    )
+    stream.add_argument("--model", required=True, help="path to a saved model")
+    stream.add_argument("--duration", type=int, default=600,
+                        help="trace seconds to stream (default 600, the "
+                             "TeaStore trace minimum)")
+    stream.add_argument("--batch", action="store_true",
+                        help="use the batch data path instead, for comparison")
+    stream.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -160,11 +174,84 @@ def _cmd_explain(args, out) -> int:
     return 0
 
 
+def _cmd_stream(args, out) -> int:
+    import time
+
+    from repro.apps.sockshop import sockshop_application
+    from repro.apps.teastore import teastore_application
+    from repro.cluster.simulation import ClusterSimulation, Placement
+    from repro.core.model import MonitorlessModel
+    from repro.datasets.experiments import (
+        evaluation_nodes,
+        sockshop_placements,
+        teastore_placements,
+    )
+    from repro.orchestrator.autoscaler import ScalingRules
+    from repro.orchestrator.loop import Orchestrator
+    from repro.orchestrator.policies import MonitorlessPolicy
+    from repro.telemetry.agent import TelemetryAgent
+    from repro.workloads.locust import staggered_locust_runs
+    from repro.workloads.traces import teastore_trace
+
+    model = MonitorlessModel.load(args.model)
+    simulation = ClusterSimulation(evaluation_nodes(), seed=args.seed)
+    simulation.deploy(teastore_application(), teastore_placements())
+    simulation.deploy(sockshop_application(), sockshop_placements())
+    agent = TelemetryAgent(seed=args.seed)
+    policy = MonitorlessPolicy(
+        model, agent, window=16, streaming=not args.batch
+    )
+    rules = ScalingRules(
+        placements={
+            "auth": Placement(node="M2", cpu_limit=2.0, memory_limit=4 * 2**30),
+            "recommender": Placement(
+                node="M2", cpu_limit=1.0, memory_limit=4 * 2**30
+            ),
+            "webui": Placement(node="M2", cpu_limit=1.0, memory_limit=4 * 2**30),
+        },
+        replica_lifespan=120,
+        scale_groups=(("auth", "recommender"),),
+    )
+    orchestrator = Orchestrator(simulation, "teastore", policy, rules)
+
+    duration = args.duration
+    workloads = {
+        "teastore": teastore_trace(duration=duration, seed=args.seed + 7),
+        "sockshop": staggered_locust_runs(
+            total_duration=duration,
+            starts=tuple(int(duration * f) for f in (1 / 7, 3 / 7, 5 / 7)),
+            run_duration=duration // 7,
+            hatch_seconds=int(duration // 7 * 0.7),
+        ),
+    }
+    mode = "batch" if args.batch else "streaming"
+    print(f"Running the {mode} closed loop for {duration}s...", file=out)
+    orchestrator.start()
+    started = time.perf_counter()
+    for t in range(duration):
+        orchestrator.tick(
+            {app: series[t] for app, series in workloads.items()}
+        )
+    elapsed = time.perf_counter() - started
+    result = orchestrator.finish()
+    print(
+        "  ".join(f"{key}={value}" for key, value in result.as_row().items()),
+        file=out,
+    )
+    print(
+        f"{duration / elapsed:.0f} ticks/s ({elapsed:.2f}s wall, "
+        f"{result.total_scale_outs} scale-outs)",
+        file=out,
+    )
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "explain": _cmd_explain,
+    "stream": _cmd_stream,
 }
 
 

@@ -21,14 +21,19 @@ records so that every step can reason about *what* a column is:
 from repro.core.features.binary import BinaryLevelFeatures
 from repro.core.features.interactions import InteractionFeatures
 from repro.core.features.meta import Domain, FeatureMeta, Scope
-from repro.core.features.pipeline import MonitorlessPipeline, PipelineConfig
+from repro.core.features.pipeline import (
+    FeaturePipeline,
+    MonitorlessPipeline,
+    PipelineConfig,
+    PipelineStream,
+)
 from repro.core.features.scaling import LogScaler
 from repro.core.features.selection import (
     PCAReducer,
     RandomForestFilter,
     VarianceFilter,
 )
-from repro.core.features.temporal import TemporalFeatures
+from repro.core.features.temporal import TemporalFeatures, TemporalState
 
 __all__ = [
     "FeatureMeta",
@@ -37,10 +42,13 @@ __all__ = [
     "BinaryLevelFeatures",
     "LogScaler",
     "TemporalFeatures",
+    "TemporalState",
     "InteractionFeatures",
     "RandomForestFilter",
     "PCAReducer",
     "VarianceFilter",
     "MonitorlessPipeline",
+    "FeaturePipeline",
+    "PipelineStream",
     "PipelineConfig",
 ]

@@ -30,7 +30,7 @@ from repro.ml.gbm import GradientBoostingClassifier
 from repro.ml.linear import LinearSVC, LogisticRegression
 from repro.ml.neural import MLPClassifier
 
-__all__ = ["MonitorlessModel", "CLASSIFIERS", "make_classifier"]
+__all__ = ["MonitorlessModel", "ModelStream", "CLASSIFIERS", "make_classifier"]
 
 # Factory defaults follow the paper's grid-search winners (Table 2,
 # underlined values).  Tree count / depth are scaled down from the
@@ -222,6 +222,19 @@ class MonitorlessModel:
         return [(names[i], float(importances[i])) for i in order]
 
     # ------------------------------------------------------------------
+    # Streaming inference
+    # ------------------------------------------------------------------
+    def stream(self) -> "ModelStream":
+        """A per-tick prediction stream over one live metric series.
+
+        Push one raw 1040-metric row per second and get the engineered
+        feature row / saturation verdict back without recomputing any
+        history.  Open one stream per container.
+        """
+        self._check_fitted()
+        return ModelStream(self)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
@@ -240,3 +253,48 @@ class MonitorlessModel:
         if not isinstance(model, MonitorlessModel):
             raise TypeError(f"{path} does not contain a MonitorlessModel.")
         return model
+
+
+class ModelStream:
+    """Streaming inference over one metric series: pipeline stream +
+    per-row classification.
+
+    The fitted model is shared and read-only; only the O(1) temporal
+    state lives here.  ``transform_tick`` stacked over time equals the
+    batch ``model.transform`` of the stacked rows to within 1e-9 (the
+    pipeline's streaming contract), so per-tick verdicts agree with
+    the batch path on the same series.
+    """
+
+    def __init__(self, model: MonitorlessModel):
+        self.model = model
+        self._pipeline_stream = model.pipeline_.stream()
+
+    @property
+    def ticks(self) -> int:
+        """Rows pushed so far."""
+        return self._pipeline_stream.ticks
+
+    def transform_tick(self, row: np.ndarray) -> np.ndarray:
+        """Raw metric row -> engineered feature row."""
+        return self._pipeline_stream.push(row)
+
+    def predict_proba_tick(self, row: np.ndarray) -> float:
+        """Raw metric row -> saturation probability."""
+        features = self.transform_tick(row)
+        classifier = self.model.classifier_
+        if not hasattr(classifier, "predict_proba"):
+            raise AttributeError(
+                f"{self.model.classifier_name} exposes no probabilities; "
+                "use predict_tick()."
+            )
+        return float(classifier.predict_proba(features[None, :])[0, 1])
+
+    def predict_tick(self, row: np.ndarray) -> int:
+        """Raw metric row -> binary saturation verdict (1 = saturated)."""
+        features = self.transform_tick(row)
+        classifier = self.model.classifier_
+        if hasattr(classifier, "predict_proba"):
+            positive = classifier.predict_proba(features[None, :])[0, 1]
+            return int(positive >= self.model.prediction_threshold)
+        return int(np.asarray(classifier.predict(features[None, :]))[0])

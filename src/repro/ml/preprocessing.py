@@ -30,28 +30,32 @@ class MinMaxScaler(BaseEstimator):
         span = self.data_max_ - self.data_min_
         # Constant features map to the range minimum instead of dividing by 0.
         span[span == 0.0] = 1.0
-        low, high = self.feature_range
-        self.scale_ = (high - low) / span
-        self.min_ = low - self.data_min_ * self.scale_
+        self.span_ = span
         return self
 
     def transform(self, X) -> np.ndarray:
-        check_is_fitted(self, "scale_")
+        check_is_fitted(self, "span_")
         X = check_array(X)
-        if X.shape[1] != self.scale_.shape[0]:
+        if X.shape[1] != self.span_.shape[0]:
             raise ValueError(
                 f"X has {X.shape[1]} features; scaler was fitted with "
-                f"{self.scale_.shape[0]}."
+                f"{self.span_.shape[0]}."
             )
-        return X * self.scale_ + self.min_
+        low, high = self.feature_range
+        # Subtract-then-divide: the pre-multiplied ``1/span`` form
+        # overflows to inf for subnormal spans and poisons the output
+        # with NaN.  Monotonic rounding of (X - min) / span keeps
+        # training values inside [low, high] without clipping.
+        return (X - self.data_min_) / self.span_ * (high - low) + low
 
     def fit_transform(self, X, y=None) -> np.ndarray:
         return self.fit(X).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
-        check_is_fitted(self, "scale_")
+        check_is_fitted(self, "span_")
         X = check_array(X)
-        return (X - self.min_) / self.scale_
+        low, high = self.feature_range
+        return (X - low) / (high - low) * self.span_ + self.data_min_
 
     def coverage_gaps(self, X_validation, *, tolerance: float = 0.0) -> np.ndarray:
         """Indices of features whose validation range exceeds the fitted range.
@@ -61,7 +65,7 @@ class MinMaxScaler(BaseEstimator):
         range was not sufficiently covered by the training campaign and
         is a candidate for additional measurement runs.
         """
-        check_is_fitted(self, "scale_")
+        check_is_fitted(self, "span_")
         X_validation = check_array(X_validation)
         too_low = X_validation.min(axis=0) < self.data_min_ - tolerance
         too_high = X_validation.max(axis=0) > self.data_max_ + tolerance
@@ -98,6 +102,20 @@ class StandardScaler(BaseEstimator):
 
     def fit_transform(self, X, y=None) -> np.ndarray:
         return self.fit(X).transform(X)
+
+    def transform_tick(self, row: np.ndarray) -> np.ndarray:
+        """Streaming mode: standardize a single sample row.
+
+        Elementwise, so bitwise identical to the matching row of
+        :meth:`transform`.
+        """
+        check_is_fitted(self, "std_")
+        if row.shape != (self.std_.shape[0],):
+            raise ValueError(
+                f"row has shape {row.shape}; scaler was fitted with "
+                f"{self.std_.shape[0]} features."
+            )
+        return (row - self.mean_) / self.std_
 
     def inverse_transform(self, X) -> np.ndarray:
         check_is_fitted(self, "std_")

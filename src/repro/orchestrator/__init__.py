@@ -9,7 +9,14 @@
   saturation with a 120-second replica lifespan, scale-in afterwards.
 - :mod:`repro.orchestrator.loop` -- the orchestrator: advance the
   simulation one second at a time, collect metrics, predict, scale,
-  and account provisioning cost and SLO violations.
+  and account provisioning cost and SLO violations.  Drive it with
+  ``run(workloads)`` for a pre-recorded trace or ``start()`` /
+  ``tick(arrivals)`` / ``finish()`` for live, per-tick arrivals.
+
+The monitorless policy supports two data paths: batch (re-transform a
+sliding window per container per tick) and streaming
+(``streaming=True``: persistent per-container telemetry and pipeline
+streams, O(1) incremental work per tick).
 """
 
 from repro.orchestrator.autoscaler import Autoscaler, ScalingRules

@@ -57,7 +57,10 @@ class EdgeDeployment:
     The predictions are identical to the centralized mode -- the same
     model runs on the same metrics, just on the other side of the
     network -- so this class reuses :class:`MonitorlessPolicy` for
-    inference and layers traffic accounting on top.
+    inference and layers traffic accounting on top.  Pass
+    ``streaming=True`` to run the agents on the incremental per-tick
+    data path (the natural fit for edge inference, which sees each
+    sample exactly once).
     """
 
     def __init__(
@@ -65,8 +68,11 @@ class EdgeDeployment:
         model: MonitorlessModel,
         agent: TelemetryAgent,
         window: int = 16,
+        streaming: bool = False,
     ):
-        self.policy = MonitorlessPolicy(model, agent, window=window)
+        self.policy = MonitorlessPolicy(
+            model, agent, window=window, streaming=streaming
+        )
         self.agent = agent
 
     def n_metrics(self) -> int:

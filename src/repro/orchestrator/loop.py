@@ -100,40 +100,54 @@ class Orchestrator:
             else None
         )
 
-    def run(self, workloads: dict[str, np.ndarray]) -> OrchestratorResult:
-        """Run the full trace; returns provisioning and SLO accounting."""
-        lengths = {len(series) for series in workloads.values()}
-        if len(lengths) != 1:
-            raise ValueError("All workload series must have equal length.")
-        duration = lengths.pop()
-        baseline = sum(
+    # ------------------------------------------------------------------
+    # Incremental driving: start() / tick() / finish()
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin a closed-loop run; arrivals are then fed via :meth:`tick`.
+
+        Records the baseline replica count and resets per-run
+        accounting.  Use this (with :meth:`tick` / :meth:`finish`) when
+        arrivals come from a live source tick by tick; :meth:`run` is
+        the batch wrapper for a complete pre-recorded trace.
+        """
+        self._baseline = sum(
             self.simulation.replica_counts(self.application).values()
         )
-        extra = np.zeros(duration)
-        for t in range(duration):
-            self.simulation.step(
-                {app: float(series[t]) for app, series in workloads.items()}
-            )
-            if self.autoscaler is not None and t % self.decision_interval == 0:
-                saturated = self.policy.saturated_services(
-                    self.simulation, self.application, t
-                )
-                self.autoscaler.act(saturated, t)
-            extra[t] = (
-                self.autoscaler.extra_replicas if self.autoscaler else 0
-            )
+        self._extra: list[int] = []
+        self._t = 0
 
+    def tick(self, arrivals: dict[str, float]) -> None:
+        """Advance the loop one second: step, predict, scale, account."""
+        if not hasattr(self, "_extra"):
+            raise RuntimeError("Call start() before tick().")
+        self.simulation.step({app: float(rate) for app, rate in arrivals.items()})
+        if self.autoscaler is not None and self._t % self.decision_interval == 0:
+            saturated = self.policy.saturated_services(
+                self.simulation, self.application, self._t
+            )
+            self.autoscaler.act(saturated, self._t)
+        self._extra.append(
+            self.autoscaler.extra_replicas if self.autoscaler else 0
+        )
+        self._t += 1
+
+    def finish(self) -> OrchestratorResult:
+        """Close the run and compute provisioning / SLO accounting."""
+        if not hasattr(self, "_extra"):
+            raise RuntimeError("Call start() before finish().")
+        duration = self._t
         kpis = self.simulation._kpis[self.application]
         response_time = np.asarray(kpis["response_time"][-duration:])
         offered = np.asarray(kpis["offered"][-duration:])
         dropped = np.asarray(kpis["dropped"][-duration:])
         throughput = np.asarray(kpis["throughput"][-duration:])
         violations = slo_violations(response_time, dropped, offered, self.slo)
-        return OrchestratorResult(
+        result = OrchestratorResult(
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             duration=duration,
-            baseline_containers=baseline,
-            extra_replicas=extra,
+            baseline_containers=self._baseline,
+            extra_replicas=np.asarray(self._extra, dtype=np.float64),
             violations=violations,
             response_time=response_time,
             throughput=throughput,
@@ -143,3 +157,19 @@ class Orchestrator:
                 self.autoscaler.total_scale_outs if self.autoscaler else 0
             ),
         )
+        del self._extra, self._t, self._baseline
+        return result
+
+    def run(self, workloads: dict[str, np.ndarray]) -> OrchestratorResult:
+        """Run the full trace; returns provisioning and SLO accounting.
+
+        Thin wrapper over :meth:`start` / :meth:`tick` / :meth:`finish`.
+        """
+        lengths = {len(series) for series in workloads.values()}
+        if len(lengths) != 1:
+            raise ValueError("All workload series must have equal length.")
+        duration = lengths.pop()
+        self.start()
+        for t in range(duration):
+            self.tick({app: series[t] for app, series in workloads.items()})
+        return self.finish()

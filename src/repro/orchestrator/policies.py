@@ -44,12 +44,41 @@ class NoScalingPolicy:
         return set()
 
 
-class MonitorlessPolicy:
-    """The monitorless detector: model + telemetry window per container.
+class _ContainerStream:
+    """One container's live data path: telemetry stream + pipeline stream."""
 
-    Each tick, every container's last ``window`` seconds of platform
-    metrics are collected and pushed through the model; a container
-    predicted saturated marks its service.
+    __slots__ = ("telemetry", "features", "last_features")
+
+    def __init__(self, telemetry, features):
+        self.telemetry = telemetry
+        self.features = features
+        self.last_features: np.ndarray | None = None
+
+    def catch_up(self, end: int) -> np.ndarray | None:
+        """Consume every unseen tick up to ``end``; O(new ticks)."""
+        while self.telemetry.clock < end:
+            self.last_features = self.features.push(self.telemetry.emit())
+        return self.last_features
+
+
+class MonitorlessPolicy:
+    """The monitorless detector over live platform metrics.
+
+    Two data paths produce the per-container verdicts:
+
+    - **batch** (``streaming=False``, the historical default): each
+      tick, every container's last ``window`` seconds of metrics are
+      re-synthesized and re-transformed from scratch -- O(window) work
+      per container per tick;
+    - **streaming** (``streaming=True``): each container holds a
+      persistent telemetry stream and pipeline stream; each tick only
+      the *new* rows are synthesized and pushed -- O(1) per container
+      per tick.  Replicas created mid-run are caught up from their
+      creation tick, so their temporal features warm up exactly as the
+      batch path's shortened windows do.
+
+    The classifier is invoked once per tick on all containers' current
+    feature rows (per-call overhead dominates at per-tick batch sizes).
 
     Parameters
     ----------
@@ -58,9 +87,12 @@ class MonitorlessPolicy:
     agent:
         Telemetry agent (must use the catalog the model was trained on).
     window:
-        Seconds of history per prediction; must cover the model's
-        longest temporal feature (the paper uses 15 s + the current
-        sample).
+        Batch mode: seconds of history per prediction; must cover the
+        model's longest temporal feature (the paper uses 15 s + the
+        current sample).  Streaming mode keeps that much telemetry tail
+        for inspection but does not recompute from it.
+    streaming:
+        Select the incremental data path.
     """
 
     name = "monitorless"
@@ -70,23 +102,69 @@ class MonitorlessPolicy:
         model: MonitorlessModel,
         agent: TelemetryAgent,
         window: int = 16,
+        streaming: bool = False,
     ):
         if window < 1:
             raise ValueError("window must be >= 1.")
         self.model = model
         self.agent = agent
         self.window = window
+        self.streaming = streaming
         self.meta = agent.catalog.feature_meta()
+        self._streams: dict[str, _ContainerStream] = {}
+
+    def _classify(
+        self, services: list[str], current_rows: list[np.ndarray]
+    ) -> set[str]:
+        if not current_rows:
+            return set()
+        batch = np.vstack(current_rows)
+        classifier = self.model.classifier_
+        if hasattr(classifier, "predict_proba"):
+            positive = classifier.predict_proba(batch)[:, 1]
+            flags = positive >= self.model.prediction_threshold
+        else:
+            flags = np.asarray(classifier.predict(batch)) == 1
+        return {service for service, flag in zip(services, flags) if flag}
+
+    def _stream_for(self, container, simulation) -> _ContainerStream:
+        stream = self._streams.get(container.name)
+        if stream is None:
+            stream = _ContainerStream(
+                self.agent.open_stream(
+                    container, simulation.nodes, history=self.window
+                ),
+                self.model.pipeline_.stream(),
+            )
+            self._streams[container.name] = stream
+        return stream
 
     def saturated_services(
         self, simulation: ClusterSimulation, application: str, t: int
     ) -> set[str]:
         deployment = simulation.deployments[application]
-        # Transform every replica's window, then classify all current
-        # rows in ONE forest call -- per-call overhead dominates at
-        # per-tick batch sizes.
         services: list[str] = []
         current_rows: list[np.ndarray] = []
+        if self.streaming:
+            live: set[str] = set()
+            for service, replicas in deployment.instances.items():
+                for instance in replicas:
+                    container = instance.container
+                    live.add(container.name)
+                    end = container.created_at + len(container.history)
+                    if end <= container.created_at:
+                        continue  # no samples yet
+                    features = self._stream_for(container, simulation).catch_up(
+                        end
+                    )
+                    if features is not None:
+                        services.append(service)
+                        current_rows.append(features)
+            # Retired replicas (scale-in) never come back; drop their state.
+            for name in [n for n in self._streams if n not in live]:
+                del self._streams[name]
+            return self._classify(services, current_rows)
+
         for service, replicas in deployment.instances.items():
             for instance in replicas:
                 container = instance.container
@@ -100,16 +178,7 @@ class MonitorlessPolicy:
                 features = self.model.transform(window_matrix, self.meta)
                 services.append(service)
                 current_rows.append(features[-1])
-        if not current_rows:
-            return set()
-        batch = np.vstack(current_rows)
-        classifier = self.model.classifier_
-        if hasattr(classifier, "predict_proba"):
-            positive = classifier.predict_proba(batch)[:, 1]
-            flags = positive >= self.model.prediction_threshold
-        else:
-            flags = np.asarray(classifier.predict(batch)) == 1
-        return {service for service, flag in zip(services, flags) if flag}
+        return self._classify(services, current_rows)
 
 
 class ThresholdPolicy:

@@ -31,6 +31,7 @@ from repro.core.features.meta import Domain, FeatureMeta, Scope, infer_domain
 
 __all__ = [
     "MetricSpec",
+    "SpecArrays",
     "MetricCatalog",
     "default_catalog",
     "HOST_CHANNELS",
@@ -112,6 +113,35 @@ class MetricSpec:
         )
 
 
+@dataclass(frozen=True)
+class SpecArrays:
+    """Vectorized view of a spec list, shared by batch and streaming
+    synthesis so both paths run the exact same arithmetic."""
+
+    channels: np.ndarray
+    gains: np.ndarray
+    bases: np.ndarray
+    noises: np.ndarray
+    complement: np.ndarray  # bool: transform == "complement100"
+    noisy: np.ndarray  # bool: noise > 0
+    counters: np.ndarray  # bool: cumulative counter semantics
+
+    @staticmethod
+    def from_specs(specs: list[MetricSpec]) -> "SpecArrays":
+        noises = np.array([s.noise for s in specs])
+        return SpecArrays(
+            channels=np.array([s.channel for s in specs]),
+            gains=np.array([s.gain for s in specs]),
+            bases=np.array([s.base for s in specs]),
+            noises=noises,
+            complement=np.array(
+                [s.transform == "complement100" for s in specs]
+            ),
+            noisy=noises > 0,
+            counters=np.array([s.counter for s in specs]),
+        )
+
+
 class MetricCatalog:
     """An ordered collection of host and container metric specs."""
 
@@ -128,6 +158,17 @@ class MetricCatalog:
             raise ValueError(f"Duplicate metric names: {sorted(duplicates)[:5]}.")
         self.host = list(host)
         self.container = list(container)
+        self._host_arrays = SpecArrays.from_specs(self.host)
+        self._container_arrays = SpecArrays.from_specs(self.container)
+
+    def spec_arrays(self, specs: list[MetricSpec]) -> SpecArrays:
+        """Precomputed driver arrays for ``specs`` (cached for the
+        catalog's own host / container lists)."""
+        if specs is self.host:
+            return self._host_arrays
+        if specs is self.container:
+            return self._container_arrays
+        return SpecArrays.from_specs(specs)
 
     @property
     def n_host(self) -> int:
@@ -159,29 +200,65 @@ class MetricCatalog:
         ``state`` has shape ``(T, n_channels)``; returns ``(T, len(specs))``.
         """
         T = state.shape[0]
-        channels = np.array([s.channel for s in specs])
-        gains = np.array([s.gain for s in specs])
-        bases = np.array([s.base for s in specs])
-        noises = np.array([s.noise for s in specs])
-        values = state[:, channels] * gains + bases
-        complement = np.array([s.transform == "complement100" for s in specs])
+        arrays = self.spec_arrays(specs)
+        values = state[:, arrays.channels] * arrays.gains + arrays.bases
+        complement = arrays.complement
         if complement.any():
-            raw = state[:, channels[complement]] * gains[complement]
+            raw = state[:, arrays.channels[complement]] * arrays.gains[complement]
             values[:, complement] = (
-                100.0 - raw + bases[complement]
+                100.0 - raw + arrays.bases[complement]
             )
-        noisy = noises > 0
+        noisy = arrays.noisy
         if noisy.any():
             values[:, noisy] += rng.normal(
-                0.0, noises[noisy], size=(T, int(noisy.sum()))
+                0.0, arrays.noises[noisy], size=(T, int(noisy.sum()))
             )
-        counters = np.array([s.counter for s in specs])
+        counters = arrays.counters
         if counters.any():
             # Counter metrics accumulate; preprocessing differentiates back.
             values[:, counters] = np.cumsum(
                 np.maximum(values[:, counters], 0.0), axis=0
             )
         return values
+
+    def synthesize_step(
+        self,
+        specs: list[MetricSpec],
+        state_row: np.ndarray,
+        rng: np.random.Generator,
+        counter_accum: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One-tick metric synthesis: the streaming counterpart of
+        :meth:`synthesize`.
+
+        ``state_row`` has shape ``(n_channels,)``; ``counter_accum``
+        carries the running cumulative sums of the counter columns
+        (pass the returned accumulator back in on the next tick; pass
+        ``None`` on the first).  Feeding the rows of a state matrix
+        through this method with a fresh ``rng`` reproduces
+        :meth:`synthesize` bitwise: per-row driver arithmetic is
+        elementwise, Gaussian draws happen in the same order, and the
+        running accumulator performs the same sequential additions as
+        ``np.cumsum``.
+        """
+        arrays = self.spec_arrays(specs)
+        values = state_row[arrays.channels] * arrays.gains + arrays.bases
+        complement = arrays.complement
+        if complement.any():
+            raw = (
+                state_row[arrays.channels[complement]] * arrays.gains[complement]
+            )
+            values[complement] = 100.0 - raw + arrays.bases[complement]
+        noisy = arrays.noisy
+        if noisy.any():
+            values[noisy] += rng.normal(0.0, arrays.noises[noisy])
+        counters = arrays.counters
+        if counter_accum is None:
+            counter_accum = np.zeros(int(counters.sum()))
+        if counters.any():
+            counter_accum = counter_accum + np.maximum(values[counters], 0.0)
+            values[counters] = counter_accum
+        return values, counter_accum
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,21 @@
-"""A minimal named time-series frame.
+"""Named time-series containers.
 
-Keeps metric matrices and their column names together without pulling
-in a dataframe dependency; supports column selection, horizontal
-concatenation and vertical stacking of aligned frames.
+:class:`MetricFrame` keeps metric matrices and their column names
+together without pulling in a dataframe dependency; supports column
+selection, horizontal concatenation and vertical stacking of aligned
+frames.
+
+:class:`MetricStream` is its streaming counterpart: a fixed-capacity
+ring buffer of metric rows that per-tick producers push into and
+per-tick consumers read windows out of, without ever materialising the
+whole run.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MetricFrame"]
+__all__ = ["MetricFrame", "MetricStream"]
 
 
 class MetricFrame:
@@ -70,3 +76,75 @@ class MetricFrame:
         return MetricFrame(
             np.vstack([frame.values for frame in frames]), list(columns)
         )
+
+
+class MetricStream:
+    """A fixed-capacity ring buffer of named metric rows.
+
+    The streaming data path appends one row per tick with :meth:`push`;
+    only the most recent ``capacity`` rows are retained.  :meth:`window`
+    returns the retained tail in chronological order, and
+    :meth:`frame` wraps it as a :class:`MetricFrame` for batch-style
+    consumers.  Memory is O(capacity x columns) regardless of run
+    length.
+    """
+
+    def __init__(self, columns: list[str], capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1.")
+        if len(set(columns)) != len(columns):
+            raise ValueError("Column names must be unique.")
+        self.columns = list(columns)
+        self.capacity = capacity
+        self._buffer = np.zeros((capacity, len(columns)))
+        self._total = 0  # rows ever pushed
+
+    def __len__(self) -> int:
+        """Rows currently retained (<= capacity)."""
+        return min(self._total, self.capacity)
+
+    @property
+    def total(self) -> int:
+        """Rows ever pushed, including rows already evicted."""
+        return self._total
+
+    def push(self, row: np.ndarray) -> None:
+        """Append one row, evicting the oldest once at capacity."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (len(self.columns),):
+            raise ValueError(
+                f"Expected a row of {len(self.columns)} values, "
+                f"got shape {row.shape}."
+            )
+        self._buffer[self._total % self.capacity] = row
+        self._total += 1
+
+    def last(self) -> np.ndarray:
+        """The most recent row (a copy)."""
+        if self._total == 0:
+            raise ValueError("Stream is empty.")
+        return self._buffer[(self._total - 1) % self.capacity].copy()
+
+    def window(self, n: int | None = None) -> np.ndarray:
+        """The last ``n`` retained rows, oldest first (a copy).
+
+        ``n`` defaults to everything retained; asking for more rows
+        than are retained is an error (silent truncation would hide
+        warm-up bugs).
+        """
+        held = len(self)
+        if n is None:
+            n = held
+        if n < 0 or n > held:
+            raise ValueError(f"window of {n} rows requested; {held} retained.")
+        if n == 0:
+            return np.empty((0, len(self.columns)))
+        end = self._total % self.capacity
+        start = (self._total - n) % self.capacity
+        if n < self.capacity and start < end:
+            return self._buffer[start:end].copy()
+        return np.vstack([self._buffer[start:], self._buffer[:end]])
+
+    def frame(self, n: int | None = None) -> MetricFrame:
+        """The retained tail as a :class:`MetricFrame`."""
+        return MetricFrame(self.window(n), list(self.columns))

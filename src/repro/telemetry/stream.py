@@ -1,0 +1,170 @@
+"""Per-tick telemetry emission: the streaming counterpart of
+:meth:`repro.telemetry.agent.TelemetryAgent.instance_matrix`.
+
+The batch agent materialises a whole run's ``(T, 1040)`` matrix in one
+call.  An :class:`InstanceTelemetryStream` instead emits one instance
+row ``M_{I,t}`` per tick while the simulation is still running, holding
+only O(1) synthesis state (RNG streams, counter accumulators, the
+previous cumulative row for rate differencing) plus a bounded
+:class:`~repro.telemetry.store.MetricStream` tail.
+
+Equivalence with the batch path: opened at the container's creation
+tick, the stream reproduces ``instance_matrix(container, nodes)`` row
+for row, bitwise.  The single documented divergence is counter *rates*
+at the stream's first tick: the batch converter back-fills
+``rates[0] = deltas[0]`` using the second sample (non-causal), while a
+per-tick emitter has no successor yet and emits 0.  From the second
+tick on the rows are identical; with ``convert_counters=False`` they
+are identical everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.container import Container
+from repro.cluster.node import Node
+from repro.telemetry.catalog import MetricCatalog, MetricSpec
+from repro.telemetry.store import MetricStream
+
+__all__ = ["InstanceTelemetryStream"]
+
+
+class _ScopeStream:
+    """Streaming synthesis state for one spec list (host or container)."""
+
+    def __init__(
+        self,
+        catalog: MetricCatalog,
+        specs: list[MetricSpec],
+        rng: np.random.Generator,
+        convert_counters: bool,
+        interval_seconds: float = 1.0,
+    ):
+        self._catalog = catalog
+        self._specs = specs
+        self._rng = rng
+        self._convert = convert_counters
+        self._interval = interval_seconds
+        self._counter_mask = catalog.spec_arrays(specs).counters
+        self._accum: np.ndarray | None = None
+        self._previous_cum: np.ndarray | None = None
+
+    def step(self, state_row: np.ndarray) -> np.ndarray:
+        """State row -> metric row, with counters already rate-converted
+        when the agent is configured to do so."""
+        values, self._accum = self._catalog.synthesize_step(
+            self._specs, state_row, self._rng, self._accum
+        )
+        if self._convert and self._counter_mask.any():
+            cumulative = values[self._counter_mask].copy()
+            if self._previous_cum is None:
+                # No predecessor: the batch converter back-fills this row
+                # from the *next* sample, which a causal stream cannot see.
+                values[self._counter_mask] = 0.0
+            else:
+                deltas = (cumulative - self._previous_cum) / self._interval
+                values[self._counter_mask] = np.maximum(deltas, 0.0)
+            self._previous_cum = cumulative
+        return values
+
+
+class InstanceTelemetryStream:
+    """Per-tick emission of one container's instance rows ``M_{I,t}``.
+
+    Created via :meth:`repro.telemetry.agent.TelemetryAgent.open_stream`.
+    Call :meth:`emit` once per simulation tick (or :meth:`advance_to`
+    to catch up after several ticks); the newest rows are retained in
+    :attr:`tail`, a :class:`MetricStream` ring buffer.
+
+    Parameters
+    ----------
+    agent:
+        The owning telemetry agent (catalog, seed, counter handling).
+    container / nodes:
+        The instance being observed and the cluster's node map.
+    start:
+        First tick to emit; defaults to the container's creation tick,
+        which makes the emitted rows equal to the agent's whole-run
+        ``instance_matrix`` (see the module docstring for the one
+        counter-rate caveat).
+    history:
+        Ring-buffer capacity of :attr:`tail`; 16 covers the paper's
+        longest temporal feature window.
+    """
+
+    def __init__(
+        self,
+        agent,
+        container: Container,
+        nodes: dict[str, Node],
+        start: int | None = None,
+        history: int = 16,
+    ):
+        if container.node is None:
+            raise ValueError(f"Container {container.name} is not placed.")
+        from repro.telemetry.agent import _stream_seed  # circular at module load
+
+        self.agent = agent
+        self.container = container
+        self.node = nodes[container.node]
+        self.start = container.created_at if start is None else start
+        catalog = agent.catalog
+        self._host = _ScopeStream(
+            catalog,
+            catalog.host,
+            np.random.default_rng(
+                _stream_seed(agent.seed, f"host:{self.node.name}:{self.start}")
+            ),
+            agent.convert_counters,
+        )
+        self._container = _ScopeStream(
+            catalog,
+            catalog.container,
+            np.random.default_rng(
+                _stream_seed(
+                    agent.seed, f"container:{container.name}:{self.start}"
+                )
+            ),
+            agent.convert_counters,
+        )
+        self.tail = MetricStream(catalog.names(), capacity=history)
+        self._next = self.start
+
+    @property
+    def clock(self) -> int:
+        """The next tick :meth:`emit` will produce."""
+        return self._next
+
+    def emit(self) -> np.ndarray:
+        """Synthesize and return the instance row for the next tick.
+
+        The container must already have recorded that tick (emit after
+        ``simulation.step``); ticks must be consumed in order -- the
+        synthesis state (noise streams, counter accumulators) is
+        inherently sequential.
+        """
+        t = self._next
+        if self.container.tick_at(t) is None:
+            raise ValueError(
+                f"Container {self.container.name} has no recorded tick {t}; "
+                "advance the simulation before emitting."
+            )
+        host_state = self.agent.host_state(self.node, t, t + 1)[0]
+        container_state = self.agent.container_state(
+            self.container, self.node, t, t + 1
+        )[0]
+        row = np.concatenate(
+            [self._host.step(host_state), self._container.step(container_state)]
+        )
+        self.tail.push(row)
+        self._next = t + 1
+        return row
+
+    def advance_to(self, end: int) -> np.ndarray | None:
+        """Emit every tick up to (excluding) ``end``; returns the last
+        row emitted, or ``None`` if already caught up."""
+        row = None
+        while self._next < end:
+            row = self.emit()
+        return row
