@@ -1,0 +1,182 @@
+"""Serial vs multi-process wall-clock for the three parallel surfaces.
+
+Times the ``n_jobs`` fan-out that PR 2 introduced -- forest training,
+grid search, and corpus generation -- at 1/2/4/8 workers and records
+the results to ``BENCH_parallel.json`` at the repository root.
+
+All three workloads are bitwise deterministic across ``n_jobs`` (see
+``tests/test_parallel.py``), so the timings compare identical
+computations.  Speedup floors (2.5x forest fit, 2.0x corpus build at 4
+workers) are asserted only when the host actually has >= 4 usable
+cores; the recorded ``cpu_count`` says how to read the artifact.
+
+- ``BENCH_PARALLEL_WORKERS``  comma list of worker counts (``1,2,4,8``)
+- ``BENCH_PARALLEL_TREES``    forest size for the fit stage   (250)
+- ``BENCH_PARALLEL_SAMPLES``  sample cap for forest/grid data (2000)
+- ``BENCH_PARALLEL_DURATION`` corpus training-run seconds     (300)
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import (
+    build_training_corpus,
+    clear_calibration_cache,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import GridSearchCV, KFold
+from repro.parallel.jobs import available_cores
+
+from conftest import SEED
+
+WORKERS = tuple(
+    int(w) for w in os.environ.get("BENCH_PARALLEL_WORKERS", "1,2,4,8").split(",")
+)
+N_TREES = int(os.environ.get("BENCH_PARALLEL_TREES", "250"))
+N_SAMPLES = int(os.environ.get("BENCH_PARALLEL_SAMPLES", "2000"))
+CORPUS_DURATION = int(os.environ.get("BENCH_PARALLEL_DURATION", "300"))
+MIN_FOREST_SPEEDUP_AT_4 = 2.5
+MIN_CORPUS_SPEEDUP_AT_4 = 2.0
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    """A deterministic (X, y) slice of the full Table-1 corpus."""
+    corpus = build_training_corpus(
+        duration=CORPUS_DURATION, calibration_duration=300, seed=SEED
+    )
+    keep = np.random.default_rng(SEED).permutation(len(corpus.y))[:N_SAMPLES]
+    return corpus.X[keep], corpus.y[keep]
+
+
+def _time_per_worker(run) -> dict[int, float]:
+    """``{workers: seconds}`` for one workload callable."""
+    seconds = {}
+    for workers in WORKERS:
+        started = time.perf_counter()
+        run(workers)
+        seconds[workers] = time.perf_counter() - started
+    return seconds
+
+
+def _record_stage(name: str, seconds: dict[int, float], **extra) -> dict:
+    serial = seconds[1]
+    return {
+        "name": name,
+        "seconds": {str(w): round(s, 3) for w, s in seconds.items()},
+        "speedup": {str(w): round(serial / s, 2) for w, s in seconds.items()},
+        **extra,
+    }
+
+
+def _fit_forest(X, y, workers: int) -> None:
+    RandomForestClassifier(
+        n_estimators=N_TREES,
+        min_samples_leaf=20,
+        random_state=SEED,
+        n_jobs=workers,
+    ).fit(X, y)
+
+
+def _grid_search(X, y, workers: int) -> None:
+    GridSearchCV(
+        RandomForestClassifier(n_estimators=30, random_state=SEED),
+        {"min_samples_leaf": [10, 20, 40], "criterion": ["gini", "entropy"]},
+        cv=KFold(n_splits=3),
+        scoring="f1",
+        n_jobs=workers,
+    ).fit(X, y)
+
+
+def _build_corpus(workers: int) -> None:
+    # Fork-started workers inherit the parent's warm ramp cache, so the
+    # cache is dropped before every build to time equal work at every
+    # worker count.
+    clear_calibration_cache()
+    build_training_corpus(
+        duration=CORPUS_DURATION,
+        calibration_duration=300,
+        seed=SEED,
+        n_jobs=workers,
+    )
+
+
+def test_parallel_speedup(benchmark, training_data, table_printer):
+    X, y = training_data
+    cores = available_cores()
+
+    stages = [
+        _record_stage(
+            "forest_fit",
+            _time_per_worker(lambda w: _fit_forest(X, y, w)),
+            trees=N_TREES,
+            n_samples=int(X.shape[0]),
+            n_features=int(X.shape[1]),
+        ),
+        _record_stage(
+            "grid_search",
+            _time_per_worker(lambda w: _grid_search(X, y, w)),
+            candidates=6,
+            folds=3,
+        ),
+        _record_stage(
+            "corpus_build",
+            _time_per_worker(_build_corpus),
+            duration=CORPUS_DURATION,
+        ),
+    ]
+
+    table_printer(
+        f"Serial vs parallel wall-clock ({cores} usable cores)",
+        [
+            {
+                "stage": stage["name"],
+                **{
+                    f"{w}w [s]": stage["seconds"][str(w)] for w in WORKERS
+                },
+                **{
+                    f"x{w}": stage["speedup"][str(w)]
+                    for w in WORKERS
+                    if w != 1
+                },
+            }
+            for stage in stages
+        ],
+    )
+
+    enforce = cores >= 4 and 4 in WORKERS
+    record = {
+        "cpu_count": cores,
+        "workers": list(WORKERS),
+        "stages": {stage.pop("name"): stage for stage in stages},
+        "thresholds": {
+            "forest_fit_speedup_at_4": MIN_FOREST_SPEEDUP_AT_4,
+            "corpus_build_speedup_at_4": MIN_CORPUS_SPEEDUP_AT_4,
+        },
+        "thresholds_enforced": enforce,
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    if enforce:
+        forest = record["stages"]["forest_fit"]["speedup"]["4"]
+        corpus = record["stages"]["corpus_build"]["speedup"]["4"]
+        assert forest >= MIN_FOREST_SPEEDUP_AT_4, (
+            f"forest fit speedup at 4 workers: {forest}"
+        )
+        assert corpus >= MIN_CORPUS_SPEEDUP_AT_4, (
+            f"corpus build speedup at 4 workers: {corpus}"
+        )
+
+    # Benchmark target: one parallel forest fit at the sweep's widest
+    # worker count (equals serial on a single-core host).
+    widest = min(max(WORKERS), cores)
+    benchmark.pedantic(
+        lambda: _fit_forest(X, y, widest), rounds=1, iterations=1
+    )

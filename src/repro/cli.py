@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 - ``inventory``  -- print the Table-1 training-run inventory;
+- ``dataset``    -- generate the training corpus (optionally save it);
 - ``train``      -- generate the corpus, train a model, save it;
+- ``gridsearch`` -- tune forest hyper-parameters by grouped CV;
 - ``evaluate``   -- score a saved model on an evaluation scenario
   (``elgg`` / ``teastore`` / ``sockshop``) against the tuned
   threshold baselines;
@@ -12,10 +14,16 @@ Five subcommands cover the common workflows:
 - ``stream``     -- drive the closed autoscaling loop tick by tick on
   the streaming (incremental) data path and report throughput.
 
+The generation/training paths accept ``--jobs N`` (``-1`` = all cores)
+to fan session simulation, tree fitting and grid-search evaluation out
+over worker processes; outputs are bitwise independent of ``--jobs``.
+
 Examples::
 
     python -m repro inventory
-    python -m repro train --out model.pkl --duration 300
+    python -m repro dataset --duration 120 --jobs -1
+    python -m repro train --out model.pkl --duration 300 --jobs 4
+    python -m repro gridsearch --duration 120 --jobs -1
     python -m repro evaluate --model model.pkl --scenario elgg
     python -m repro explain --model model.pkl --duration 150
     python -m repro stream --model model.pkl --duration 600
@@ -29,6 +37,13 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default serial; -1 = all cores)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -37,6 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("inventory", help="print the Table-1 run inventory")
+
+    dataset = commands.add_parser(
+        "dataset", help="generate the training corpus"
+    )
+    dataset.add_argument("--out", default=None,
+                         help="save X/y/groups as .npz (default: print only)")
+    dataset.add_argument("--duration", type=int, default=300,
+                         help="seconds per training run (default 300)")
+    dataset.add_argument("--runs", type=int, nargs="*", default=None,
+                         help="Table-1 run ids (default: all 25)")
+    dataset.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(dataset)
 
     train = commands.add_parser("train", help="train and save a model")
     train.add_argument("--out", required=True, help="output model path (.pkl)")
@@ -47,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--runs", type=int, nargs="*", default=None,
                        help="Table-1 run ids (default: all 25)")
     train.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(train)
+
+    gridsearch = commands.add_parser(
+        "gridsearch",
+        help="tune forest hyper-parameters by run-grouped cross-validation",
+    )
+    gridsearch.add_argument("--duration", type=int, default=120,
+                            help="seconds per training run (default 120)")
+    gridsearch.add_argument("--trees", type=int, default=30,
+                            help="forest size per candidate (paper: 250)")
+    gridsearch.add_argument("--folds", type=int, default=5,
+                            help="CV folds, grouped by run (default 5)")
+    gridsearch.add_argument("--runs", type=int, nargs="*", default=None,
+                            help="Table-1 run ids (default: all 25)")
+    gridsearch.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(gridsearch)
 
     evaluate = commands.add_parser("evaluate", help="score a saved model")
     evaluate.add_argument("--model", required=True, help="path to a saved model")
@@ -96,6 +139,32 @@ def _cmd_inventory(args, out) -> int:
     return 0
 
 
+def _cmd_dataset(args, out) -> int:
+    import numpy as np
+
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+
+    runs = [run_by_id(i) for i in args.runs] if args.runs else None
+    print(f"Generating corpus ({args.duration}s per run)...", file=out)
+    corpus = build_training_corpus(
+        duration=args.duration, seed=args.seed, runs=runs, n_jobs=args.jobs
+    )
+    print(
+        f"  {corpus.X.shape[0]} samples x {corpus.X.shape[1]} metrics, "
+        f"{corpus.saturated_fraction:.0%} saturated",
+        file=out,
+    )
+    for row in corpus.summary():
+        print("  ".join(f"{key}={value}" for key, value in row.items()), file=out)
+    if args.out:
+        np.savez_compressed(
+            args.out, X=corpus.X, y=corpus.y, groups=corpus.groups
+        )
+        print(f"Saved to {args.out}.", file=out)
+    return 0
+
+
 def _cmd_train(args, out) -> int:
     from repro.core.model import MonitorlessModel
     from repro.datasets.configs import run_by_id
@@ -104,7 +173,7 @@ def _cmd_train(args, out) -> int:
     runs = [run_by_id(i) for i in args.runs] if args.runs else None
     print(f"Generating corpus ({args.duration}s per run)...", file=out)
     corpus = build_training_corpus(
-        duration=args.duration, seed=args.seed, runs=runs
+        duration=args.duration, seed=args.seed, runs=runs, n_jobs=args.jobs
     )
     print(
         f"  {corpus.X.shape[0]} samples x {corpus.X.shape[1]} metrics, "
@@ -113,12 +182,58 @@ def _cmd_train(args, out) -> int:
     )
     print(f"Training ({args.trees} trees)...", file=out)
     model = MonitorlessModel(
-        classifier_params={"n_estimators": args.trees}, random_state=args.seed
+        classifier_params={"n_estimators": args.trees, "n_jobs": args.jobs},
+        random_state=args.seed,
     )
     model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
     model.save(args.out)
     print(f"Saved to {args.out} "
           f"({model.n_engineered_features_} engineered features).", file=out)
+    return 0
+
+
+def _cmd_gridsearch(args, out) -> int:
+    import numpy as np
+
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+    from repro.ml.forest import RandomForestClassifier
+    from repro.ml.model_selection import GridSearchCV, GroupKFold
+
+    runs = [run_by_id(i) for i in args.runs] if args.runs else None
+    print(f"Generating corpus ({args.duration}s per run)...", file=out)
+    corpus = build_training_corpus(
+        duration=args.duration, seed=args.seed, runs=runs, n_jobs=args.jobs
+    )
+    n_groups = len(np.unique(corpus.groups))
+    folds = min(args.folds, n_groups)
+    # The paper's Table-2 forest axes (tree count fixed by --trees).
+    grid = {
+        "min_samples_leaf": [10, 20, 40],
+        "criterion": ["gini", "entropy"],
+    }
+    print(
+        f"Grid search: {len(grid['min_samples_leaf']) * len(grid['criterion'])}"
+        f" candidates x {folds} run-grouped folds...",
+        file=out,
+    )
+    search = GridSearchCV(
+        RandomForestClassifier(
+            n_estimators=args.trees, random_state=args.seed
+        ),
+        grid,
+        cv=GroupKFold(n_splits=folds),
+        scoring="f1",
+        n_jobs=args.jobs,
+    )
+    search.fit(corpus.X, corpus.y, groups=corpus.groups)
+    for row in sorted(
+        search.results_, key=lambda r: r["mean_score"], reverse=True
+    ):
+        params = ", ".join(f"{k}={v}" for k, v in row["params"].items())
+        print(f"  F1={row['mean_score']:.4f}  {params}", file=out)
+    best = ", ".join(f"{k}={v}" for k, v in search.best_params_.items())
+    print(f"Best: {best} (F1={search.best_score_:.4f})", file=out)
     return 0
 
 
@@ -248,7 +363,9 @@ def _cmd_stream(args, out) -> int:
 
 _COMMANDS = {
     "inventory": _cmd_inventory,
+    "dataset": _cmd_dataset,
     "train": _cmd_train,
+    "gridsearch": _cmd_gridsearch,
     "evaluate": _cmd_evaluate,
     "explain": _cmd_explain,
     "stream": _cmd_stream,

@@ -26,6 +26,7 @@ from repro.cluster.simulation import ClusterSimulation, Placement
 from repro.core.features.meta import FeatureMeta
 from repro.core.labeling import KneedleLabeler
 from repro.datasets.configs import TABLE1_RUNS, RunConfig, sessions
+from repro.parallel import parallel_map
 from repro.telemetry.agent import TelemetryAgent
 from repro.telemetry.catalog import MetricCatalog, default_catalog
 from repro.workloads.patterns import linear_ramp
@@ -34,6 +35,8 @@ __all__ = [
     "LabeledRun",
     "TrainingCorpus",
     "calibrate_threshold",
+    "calibration_cache_info",
+    "clear_calibration_cache",
     "generate_session",
     "build_training_corpus",
 ]
@@ -93,24 +96,55 @@ def _placement(config: RunConfig, node: str) -> Placement:
     )
 
 
-def calibrate_threshold(
-    config: RunConfig,
-    *,
-    duration: int = 300,
-    node: str = "training",
-    seed: int = 0,
-) -> tuple[float, np.ndarray, np.ndarray]:
-    """Discover the run's saturation threshold with a linear ramp.
+# The calibration ramp is a pure function of the fields below -- the
+# run id, traffic pattern and intended-bottleneck label play no part in
+# it -- so repeated sessions reusing an app/limit combination (e.g.
+# Table-1 runs 3 and 4) and repeated corpus builds in one process skip
+# the expensive doubling-ramp simulations entirely.  Per-run observation
+# noise is applied *after* the cache, so thresholds are bitwise
+# identical with and without a cache hit.
+_RAMP_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_RAMP_CACHE_STATS = {"hits": 0, "misses": 0}
 
-    Returns ``(threshold, ramp_load, observed_throughput)``.
 
-    If the configured ramp never reaches saturation (throughput still
-    tracks the offered load at the ramp's top), the ramp is extended --
-    doubled up to five times -- until a knee appears, mirroring how an
-    operator keeps increasing the calibration load until the KPI
-    flattens (section 2.2).
-    """
-    rng = np.random.default_rng(seed + config.run_id)
+def _ramp_cache_key(config: RunConfig, duration: int, node: str, seed: int):
+    return (
+        config.service,
+        config.demand_scale,
+        config.mix,
+        config.io_heavy,
+        config.fsync_bound,
+        config.cpu_limit,
+        config.mem_limit,
+        config.rate_low,
+        config.rate_high,
+        duration,
+        node,
+        seed,
+    )
+
+
+def calibration_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the in-process calibration-ramp cache."""
+    return {**_RAMP_CACHE_STATS, "size": len(_RAMP_CACHE)}
+
+
+def clear_calibration_cache() -> None:
+    """Drop every cached calibration ramp (and reset the counters)."""
+    _RAMP_CACHE.clear()
+    _RAMP_CACHE_STATS.update(hits=0, misses=0)
+
+
+def _calibration_ramp(
+    config: RunConfig, duration: int, node: str, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The noise-free calibration ramp and its observed throughput."""
+    key = _ramp_cache_key(config, duration, node, seed)
+    cached = _RAMP_CACHE.get(key)
+    if cached is not None:
+        _RAMP_CACHE_STATS["hits"] += 1
+        return cached
+    _RAMP_CACHE_STATS["misses"] += 1
 
     def ramp_run(low: float, high: float) -> tuple[np.ndarray, np.ndarray]:
         simulation = ClusterSimulation({node: MACHINES[node]}, seed=seed)
@@ -139,6 +173,33 @@ def calibrate_threshold(
     ramp, throughput = ramp_run(
         max(capacity_estimate * 0.05, 1.0), capacity_estimate * 1.6
     )
+    # Cached arrays are shared across callers; freeze them so a caller
+    # mutating its "own" ramp cannot silently corrupt later sessions.
+    ramp.setflags(write=False)
+    throughput.setflags(write=False)
+    _RAMP_CACHE[key] = (ramp, throughput)
+    return ramp, throughput
+
+
+def calibrate_threshold(
+    config: RunConfig,
+    *,
+    duration: int = 300,
+    node: str = "training",
+    seed: int = 0,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Discover the run's saturation threshold with a linear ramp.
+
+    Returns ``(threshold, ramp_load, observed_throughput)``.
+
+    If the configured ramp never reaches saturation (throughput still
+    tracks the offered load at the ramp's top), the ramp is extended --
+    doubled up to five times -- until a knee appears, mirroring how an
+    operator keeps increasing the calibration load until the KPI
+    flattens (section 2.2).
+    """
+    rng = np.random.default_rng(seed + config.run_id)
+    ramp, throughput = _calibration_ramp(config, duration, node, seed)
     observed = throughput * (1.0 + rng.normal(0.0, _KPI_NOISE, throughput.size))
     labeler = KneedleLabeler(window_length=21).fit(ramp, observed)
     return float(labeler.threshold_), ramp, observed
@@ -225,6 +286,26 @@ def generate_session(
     return labeled
 
 
+def _generate_session_task(task, arrays) -> list[LabeledRun]:
+    """Simulate/calibrate/label one session; runs in-process or in a
+    pool worker.
+
+    The telemetry agent is rebuilt per call from ``(catalog, seed)``;
+    its metric streams are keyed by node/container name and seed, never
+    by call order, so a per-worker agent emits the same rows the shared
+    serial agent would.
+    """
+    session, duration, calibration_duration, seed, catalog = task
+    agent = TelemetryAgent(catalog=catalog, seed=seed)
+    return generate_session(
+        session,
+        duration=duration,
+        calibration_duration=calibration_duration,
+        seed=seed,
+        agent=agent,
+    )
+
+
 def build_training_corpus(
     *,
     duration: int = 600,
@@ -232,21 +313,25 @@ def build_training_corpus(
     seed: int = 0,
     runs: list[RunConfig] | None = None,
     catalog: MetricCatalog | None = None,
+    n_jobs: int | None = None,
 ) -> TrainingCorpus:
-    """Generate the full Table-1 corpus (all sessions)."""
+    """Generate the full Table-1 corpus (all sessions).
+
+    ``n_jobs`` simulates sessions in parallel worker processes.  Each
+    session draws only from RNGs keyed by the corpus seed (workload
+    noise, KPI noise, metric synthesis), so the corpus is bitwise
+    identical at every ``n_jobs``.
+    """
     catalog = catalog or default_catalog()
-    agent = TelemetryAgent(catalog=catalog, seed=seed)
+    tasks = [
+        (session, duration, calibration_duration, seed, catalog)
+        for session in sessions(runs if runs is not None else TABLE1_RUNS)
+    ]
     all_runs: list[LabeledRun] = []
-    for session in sessions(runs if runs is not None else TABLE1_RUNS):
-        all_runs.extend(
-            generate_session(
-                session,
-                duration=duration,
-                calibration_duration=calibration_duration,
-                seed=seed,
-                agent=agent,
-            )
-        )
+    for labeled in parallel_map(
+        _generate_session_task, tasks, n_jobs=n_jobs, chunk_size=1
+    ):
+        all_runs.extend(labeled)
     X = np.vstack([run.X for run in all_runs])
     y = np.concatenate([run.y for run in all_runs])
     groups = np.concatenate(

@@ -6,6 +6,15 @@ relies on twice: to filter the metric catalog down to the top-30 union
 (section 3.3.4) and to produce the Table-4 ranking.  ``predict_saturated``
 implements the paper's asymmetric operating point (section 4, prediction
 threshold 0.4) for FN-averse saturation detection.
+
+Training and ensemble prediction are embarrassingly parallel and run
+through :mod:`repro.parallel` when ``n_jobs`` asks for workers.  The
+historical fit loop drew each tree's bootstrap indices and split seed
+interleaved from one shared RNG *inside* the loop; that randomness is
+now pre-drawn in the parent (same RNG, same draw order, so fixed-seed
+forests are unchanged) and shipped to the workers with the task, so
+for a fixed ``random_state`` the fitted forest is bitwise identical at
+every ``n_jobs``.
 """
 
 from __future__ import annotations
@@ -22,8 +31,55 @@ from repro.ml.base import (
     compute_sample_weight,
 )
 from repro.ml.tree import DecisionTreeClassifier
+from repro.parallel import parallel_map
 
 __all__ = ["RandomForestClassifier"]
+
+#: Trees per prediction task.  Fixed (never derived from ``n_jobs``) so
+#: the vote-accumulation order -- within a chunk, then across chunks --
+#: is identical however many workers run, keeping ``predict_proba``
+#: bitwise independent of ``n_jobs``.
+_PREDICT_CHUNK_TREES = 16
+
+
+def _fit_tree_task(task, arrays) -> DecisionTreeClassifier:
+    """Fit one bootstrap tree; runs in-process or in a pool worker.
+
+    The task carries the tree's pre-drawn split seed and its row into
+    the pre-drawn bootstrap-index matrix; ``X``/``y``, the base sample
+    weight and that matrix arrive via the (shared) array dict.
+    """
+    row, tree_seed, params, bootstrap, per_bootstrap_weighting = task
+    X, y, base_weight = arrays["X"], arrays["y"], arrays["w"]
+    if bootstrap:
+        sample_idx = arrays["idx"][row]
+    else:
+        sample_idx = np.arange(X.shape[0])
+    weight = base_weight[sample_idx]
+    if per_bootstrap_weighting:
+        weight = weight * compute_sample_weight("balanced", y[sample_idx])
+    tree = DecisionTreeClassifier(**params, random_state=tree_seed)
+    tree.fit(X[sample_idx], y[sample_idx], sample_weight=weight)
+    return tree
+
+
+def _predict_proba_task(task, arrays) -> np.ndarray:
+    """Accumulated (unnormalized) votes of one chunk of trees.
+
+    Votes go straight from each tree's leaf-value table into one
+    preallocated accumulator -- the per-tree ``check_array``
+    re-validation is skipped because the forest validated ``X`` once.
+    """
+    trees, n_classes = task
+    X = arrays["X"]
+    votes = np.zeros((X.shape[0], n_classes))
+    for tree in trees:
+        # Trees are fitted on encoded labels, so their class order
+        # matches the forest's as long as every bootstrap saw all
+        # classes; map via each tree's own classes_ to stay correct
+        # when one did not.
+        votes[:, tree.classes_] += tree.tree_value_[tree._apply(X)]
+    return votes
 
 
 class RandomForestClassifier(BaseEstimator, ClassifierMixin):
@@ -32,6 +88,11 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     The paper's tuned configuration (section 3.4) is ``n_estimators=250,
     min_samples_leaf=20, criterion='entropy'`` ("information gain"),
     ``class_weight=None``.
+
+    ``n_jobs`` controls worker processes for both ``fit`` (bootstrap +
+    tree growing) and ``predict_proba`` (per-tree voting); ``None``/1
+    is serial, ``-1`` uses every core.  Results are bitwise identical
+    across ``n_jobs`` values for a fixed ``random_state``.
     """
 
     def __init__(
@@ -45,6 +106,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         bootstrap: bool = True,
         class_weight=None,
         random_state=None,
+        n_jobs: int | None = None,
     ):
         self.n_estimators = n_estimators
         self.criterion = criterion
@@ -55,6 +117,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.bootstrap = bootstrap
         self.class_weight = class_weight
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
         if self.n_estimators < 1:
@@ -62,7 +125,6 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         X, y = check_X_y(X, y)
         y_encoded = self._encode_labels(y)
         n = X.shape[0]
-        rng = check_random_state(self.random_state)
 
         base_weight = (
             np.ones(n)
@@ -80,27 +142,37 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 self.class_weight, y_encoded
             )
 
-        self.estimators_: list[DecisionTreeClassifier] = []
-        for _ in range(self.n_estimators):
+        # Every tree's bootstrap indices and split seed are drawn here,
+        # up front, from the shared RNG in the exact order the old fit
+        # loop drew them interleaved -- fixed-seed forests are bitwise
+        # unchanged, and workers never touch a shared RNG.  The index
+        # matrix travels through shared memory like X.
+        rng = check_random_state(self.random_state)
+        shared = {"X": X, "y": y_encoded, "w": base_weight}
+        if self.bootstrap:
+            bootstrap_idx = np.empty((self.n_estimators, n), dtype=np.int64)
+        tree_seeds = []
+        for i in range(self.n_estimators):
             if self.bootstrap:
-                sample_idx = rng.integers(0, n, size=n)
-            else:
-                sample_idx = np.arange(n)
-            weight = base_weight[sample_idx]
-            if per_bootstrap_weighting:
-                weight = weight * compute_sample_weight(
-                    "balanced", y_encoded[sample_idx]
-                )
-            tree = DecisionTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=rng.integers(0, 2**31 - 1),
-            )
-            tree.fit(X[sample_idx], y_encoded[sample_idx], sample_weight=weight)
-            self.estimators_.append(tree)
+                bootstrap_idx[i] = rng.integers(0, n, size=n)
+            tree_seeds.append(int(rng.integers(0, 2**31 - 1)))
+        if self.bootstrap:
+            shared["idx"] = bootstrap_idx
+
+        tree_params = {
+            "criterion": self.criterion,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        tasks = [
+            (i, seed, tree_params, self.bootstrap, per_bootstrap_weighting)
+            for i, seed in enumerate(tree_seeds)
+        ]
+        self.estimators_: list[DecisionTreeClassifier] = parallel_map(
+            _fit_tree_task, tasks, n_jobs=self.n_jobs, shared=shared
+        )
 
         self.n_features_in_ = X.shape[1]
         importances = np.mean(
@@ -118,14 +190,23 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 f"X has {X.shape[1]} features; forest was fitted with "
                 f"{self.n_features_in_}."
             )
-        # Trees were fitted on encoded labels, so their class order matches
-        # self.classes_ as long as every bootstrap saw both classes; map via
-        # each tree's own classes_ to stay correct when it did not.
         k = len(self.classes_)
-        accumulated = np.zeros((X.shape[0], k))
-        for tree in self.estimators_:
-            proba = tree.predict_proba(X)
-            accumulated[:, tree.classes_] += proba
+        chunks = [
+            self.estimators_[start:start + _PREDICT_CHUNK_TREES]
+            for start in range(0, len(self.estimators_), _PREDICT_CHUNK_TREES)
+        ]
+        # Each task already bundles _PREDICT_CHUNK_TREES trees, so one
+        # task per dispatch is the right scheduling granularity.
+        partials = parallel_map(
+            _predict_proba_task,
+            [(chunk, k) for chunk in chunks],
+            n_jobs=self.n_jobs,
+            shared={"X": X},
+            chunk_size=1,
+        )
+        accumulated = partials[0]
+        for votes in partials[1:]:
+            accumulated = accumulated + votes
         return accumulated / len(self.estimators_)
 
     def predict(self, X) -> np.ndarray:

@@ -1,0 +1,35 @@
+"""Deterministic process-level parallelism for the hot training paths.
+
+The paper's winning configuration -- a 250-tree random forest tuned by
+grid search over 25 simulated Table-1 sessions -- is embarrassingly
+parallel at three granularities: trees, fold x candidate evaluations,
+and sessions.  This package provides the one execution layer all of
+them share:
+
+- :func:`resolve_n_jobs` -- the ``n_jobs`` convention (``None`` -> 1,
+  ``-1`` -> all cores, negative -> ``cores + 1 + n_jobs``).
+- :func:`spawn_seeds` -- per-task :class:`numpy.random.SeedSequence`
+  spawning, the mechanism behind the bitwise-determinism contract: for
+  a fixed ``random_state`` every task owns a pre-spawned seed, so
+  results are identical for ``n_jobs=1`` and ``n_jobs=8``.
+- :func:`parallel_map` -- chunked process-pool mapping with
+  shared-memory ndarray passing for large read-only inputs and a
+  transparent in-process fallback when one worker is requested.
+
+See ``docs/api_overview.md`` ("Parallelism & determinism") for the
+seeding contract every caller follows.
+"""
+
+from repro.parallel.jobs import in_worker, resolve_n_jobs
+from repro.parallel.pool import WorkerCrashError, parallel_map
+from repro.parallel.seeding import spawn_seeds
+from repro.parallel.shm import SharedArrays
+
+__all__ = [
+    "resolve_n_jobs",
+    "in_worker",
+    "spawn_seeds",
+    "parallel_map",
+    "WorkerCrashError",
+    "SharedArrays",
+]

@@ -1,0 +1,49 @@
+"""``n_jobs`` resolution: one convention for every parallel entry point.
+
+The convention matches scikit-learn's so the paper's grids and scripts
+translate directly:
+
+- ``None`` -> 1 (serial; the default everywhere, keeps debugging and
+  coverage trivial),
+- positive ``k`` -> ``k`` worker processes,
+- ``-1`` -> every available core,
+- other negatives -> ``cores + 1 + n_jobs`` (``-2`` = all but one),
+- ``0`` -> ``ValueError`` (meaningless).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["resolve_n_jobs", "available_cores", "in_worker"]
+
+#: Environment flag set inside pool workers so nested ``parallel_map``
+#: calls degrade to serial instead of forking pools within pools.
+_WORKER_ENV = "_REPRO_POOL_WORKER"
+
+
+def available_cores() -> int:
+    """Cores usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def in_worker() -> bool:
+    """True when executing inside a :func:`parallel_map` worker."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Turn an ``n_jobs`` request into a concrete worker count (>= 1)."""
+    if n_jobs is None:
+        return 1
+    if not isinstance(n_jobs, int) or isinstance(n_jobs, bool):
+        raise ValueError(f"n_jobs must be an int or None, got {n_jobs!r}.")
+    if n_jobs == 0:
+        raise ValueError("n_jobs == 0 has no meaning; use None or 1 for serial.")
+    cores = available_cores()
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs

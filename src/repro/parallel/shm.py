@@ -1,0 +1,116 @@
+"""Shared-memory ndarray passing between the parent and pool workers.
+
+Large read-only inputs (the training corpus ``X``/``y``, per-fold
+sample weights) are copied once into POSIX shared memory; workers map
+them zero-copy instead of receiving a pickled copy per task.  The
+worker-side views are marked read-only -- task functions must treat
+shared arrays as immutable, which is also what the determinism
+contract requires.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrays", "attach_arrays"]
+
+#: (key, shm_name, shape, dtype_str) -- everything a worker needs to map
+#: one shared array.
+ArraySpec = tuple[str, str, tuple[int, ...], str]
+
+
+class SharedArrays:
+    """Owner of a set of named shared-memory array copies.
+
+    Use as a context manager in the parent::
+
+        with SharedArrays({"X": X, "y": y}) as shared:
+            specs = shared.specs   # picklable; pass to worker initializer
+
+    On exit the segments are closed and unlinked; workers must have
+    finished by then (the pool is always shut down inside the block).
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self.specs: list[ArraySpec] = []
+        try:
+            for key, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, array.dtype, buffer=block.buf)
+                view[...] = array
+                self._blocks.append(block)
+                self.specs.append(
+                    (key, block.name, array.shape, array.dtype.str)
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._blocks = []
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_arrays(
+    specs: list[ArraySpec],
+    *,
+    untrack: bool = False,
+) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+    """Worker side: map the parent's segments into read-only ndarrays.
+
+    Returns the array dict and the attached blocks; the blocks must be
+    kept alive as long as the arrays are in use (the pool worker holds
+    them for its lifetime).  Pass ``untrack=True`` in spawn-started
+    workers, whose private resource tracker would otherwise claim the
+    parent-owned segments and warn about them at exit.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    blocks: list[shared_memory.SharedMemory] = []
+    for key, name, shape, dtype in specs:
+        block = shared_memory.SharedMemory(name=name)
+        if untrack:
+            _untrack(block)
+        blocks.append(block)
+        view = np.ndarray(shape, np.dtype(dtype), buffer=block.buf)
+        view.setflags(write=False)
+        arrays[key] = view
+    return arrays, blocks
+
+
+def _untrack(block: shared_memory.SharedMemory) -> None:
+    """Stop a spawn-started worker's private resource tracker from also
+    unlinking the segment.
+
+    The parent owns the segment's lifetime; without this, every
+    spawn-started worker registers it with its own tracker, which warns
+    about "leaked" segments at shutdown (cpython#82300).  Fork-started
+    workers share the parent's tracker -- a set-keyed cache where the
+    duplicate registration is harmless -- and must *not* unregister, or
+    they would strip the parent's own entry.  Python 3.13 exposes
+    ``track=False`` for the same purpose; this supports older
+    interpreters.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:
+        pass
