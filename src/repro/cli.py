@@ -37,6 +37,14 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _add_tree_method_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tree-method", choices=("exact", "hist"), default="exact",
+        help="tree training mode: 'exact' (default, bitwise-stable) or "
+             "'hist' (quantile-binned, ~an order of magnitude faster)",
+    )
+
+
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -74,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--runs", type=int, nargs="*", default=None,
                        help="Table-1 run ids (default: all 25)")
     train.add_argument("--seed", type=int, default=0)
+    _add_tree_method_argument(train)
     _add_jobs_argument(train)
 
     gridsearch = commands.add_parser(
@@ -89,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     gridsearch.add_argument("--runs", type=int, nargs="*", default=None,
                             help="Table-1 run ids (default: all 25)")
     gridsearch.add_argument("--seed", type=int, default=0)
+    _add_tree_method_argument(gridsearch)
     _add_jobs_argument(gridsearch)
 
     evaluate = commands.add_parser("evaluate", help="score a saved model")
@@ -182,7 +192,11 @@ def _cmd_train(args, out) -> int:
     )
     print(f"Training ({args.trees} trees)...", file=out)
     model = MonitorlessModel(
-        classifier_params={"n_estimators": args.trees, "n_jobs": args.jobs},
+        classifier_params={
+            "n_estimators": args.trees,
+            "n_jobs": args.jobs,
+            "tree_method": args.tree_method,
+        },
         random_state=args.seed,
     )
     model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
@@ -219,7 +233,9 @@ def _cmd_gridsearch(args, out) -> int:
     )
     search = GridSearchCV(
         RandomForestClassifier(
-            n_estimators=args.trees, random_state=args.seed
+            n_estimators=args.trees,
+            tree_method=args.tree_method,
+            random_state=args.seed,
         ),
         grid,
         cv=GroupKFold(n_splits=folds),
@@ -273,12 +289,16 @@ def _cmd_explain(args, out) -> int:
     for name, weight in model.feature_importances(top=args.top):
         print(f"  {weight:.4f}  {name}", file=out)
 
-    print("\nSurrogate scaling rules (depth 3):", file=out)
     corpus = build_training_corpus(duration=args.duration, seed=args.seed)
     features = model.transform(corpus.X, corpus.meta, corpus.groups)
     predictions = model.classifier_.predict(features)
     surrogate = SurrogateTree(max_depth=3, min_samples_leaf=30).fit(
         features, predictions, model.pipeline_.feature_names_
+    )
+    print(
+        f"\nSurrogate scaling rules (depth {surrogate.depth}, "
+        f"{surrogate.n_leaves} rules):",
+        file=out,
     )
     for rule in surrogate.rules()[:8]:
         print(f"  {rule}", file=out)

@@ -96,6 +96,20 @@ class SurrogateTree:
                     np.asarray(model_predictions).ravel())
         )
 
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted surrogate (<= ``max_depth``)."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("SurrogateTree must be fitted first.")
+        return self.tree_.depth_
+
+    @property
+    def n_leaves(self) -> int:
+        """Rule count of the fitted surrogate (one rule per leaf)."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("SurrogateTree must be fitted first.")
+        return self.tree_.n_leaves_
+
     def rules(self) -> list[ScalingRule]:
         """All root-to-leaf paths as scaling rules, saturated first."""
         if not hasattr(self, "tree_"):

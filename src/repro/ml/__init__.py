@@ -5,7 +5,9 @@ those are available offline, so this package reimplements the required
 estimators on top of numpy:
 
 - :class:`repro.ml.tree.DecisionTreeClassifier` -- CART with gini or
-  entropy splitting.
+  entropy splitting and two training modes (``tree_method="exact"`` /
+  ``"hist"``; the latter trains on a quantile-binned ``uint8`` matrix
+  built by :class:`repro.ml.binning.Binner`).
 - :class:`repro.ml.forest.RandomForestClassifier` -- bagged CART trees
   with feature importances, class weights and probability predictions.
 - :class:`repro.ml.boosting.AdaBoostClassifier` -- SAMME / SAMME.R.
@@ -24,6 +26,7 @@ estimators on top of numpy:
 """
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, clone
+from repro.ml.binning import Binner
 from repro.ml.boosting import AdaBoostClassifier
 from repro.ml.decomposition import PCA
 from repro.ml.forest import RandomForestClassifier
@@ -37,6 +40,7 @@ __all__ = [
     "BaseEstimator",
     "ClassifierMixin",
     "clone",
+    "Binner",
     "DecisionTreeClassifier",
     "RandomForestClassifier",
     "AdaBoostClassifier",

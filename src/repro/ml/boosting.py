@@ -18,6 +18,7 @@ from repro.ml.base import (
     check_random_state,
     check_X_y,
 )
+from repro.ml.binning import Binner
 from repro.ml.tree import DecisionTreeClassifier
 
 __all__ = ["AdaBoostClassifier"]
@@ -34,6 +35,10 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         ``"SAMME"`` (discrete) or ``"SAMME.R"`` (real).
     DT_criterion, DT_splitter, DT_min_samples_split, DT_max_depth:
         Configuration of the weak-learner trees, named as in Table 2.
+    DT_tree_method, DT_max_bins:
+        ``"hist"`` bins ``X`` once and fits every round's weak learner
+        on the shared binned matrix (``DT_splitter`` must stay
+        ``"best"``); the default ``"exact"`` is the historical path.
     learning_rate:
         Shrinkage applied to each round's contribution.
     """
@@ -47,6 +52,8 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         DT_splitter: str = "best",
         DT_min_samples_split: int = 2,
         DT_max_depth: int = 3,
+        DT_tree_method: str = "exact",
+        DT_max_bins: int = 255,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -56,6 +63,8 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         self.DT_splitter = DT_splitter
         self.DT_min_samples_split = DT_min_samples_split
         self.DT_max_depth = DT_max_depth
+        self.DT_tree_method = DT_tree_method
+        self.DT_max_bins = DT_max_bins
         self.random_state = random_state
 
     def _make_weak_learner(self, seed: int) -> DecisionTreeClassifier:
@@ -64,6 +73,8 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
             splitter=self.DT_splitter,
             min_samples_split=self.DT_min_samples_split,
             max_depth=self.DT_max_depth,
+            tree_method=self.DT_tree_method,
+            max_bins=self.DT_max_bins,
             random_state=seed,
         )
 
@@ -76,13 +87,25 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         k = len(self.classes_)
         rng = check_random_state(self.random_state)
 
+        hist = self.DT_tree_method == "hist"
+        if hist:
+            # Bin once; every boosting round's weak learner trains on
+            # the same code matrix with its round-specific weights.
+            binner = Binner(self.DT_max_bins).fit(X)
+            codes = binner.transform(X)
+
         weights = np.full(n, 1.0 / n)
         self.estimators_: list[DecisionTreeClassifier] = []
         self.estimator_weights_: list[float] = []
 
         for _ in range(self.n_estimators):
             learner = self._make_weak_learner(int(rng.integers(0, 2**31 - 1)))
-            learner.fit(X, y_encoded, sample_weight=weights)
+            if hist:
+                learner.fit_binned(
+                    codes, binner.bin_edges_, y_encoded, sample_weight=weights
+                )
+            else:
+                learner.fit(X, y_encoded, sample_weight=weights)
 
             if self.algorithm == "SAMME":
                 predictions = learner.predict(X)

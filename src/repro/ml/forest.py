@@ -30,6 +30,7 @@ from repro.ml.base import (
     check_X_y,
     compute_sample_weight,
 )
+from repro.ml.binning import Binner
 from repro.ml.tree import DecisionTreeClassifier
 from repro.parallel import parallel_map
 
@@ -50,7 +51,9 @@ def _fit_tree_task(task, arrays) -> DecisionTreeClassifier:
     weight and that matrix arrive via the (shared) array dict.
     """
     row, tree_seed, params, bootstrap, per_bootstrap_weighting = task
-    X, y, base_weight = arrays["X"], arrays["y"], arrays["w"]
+    hist = "Xb" in arrays
+    X = arrays["Xb"] if hist else arrays["X"]
+    y, base_weight = arrays["y"], arrays["w"]
     if bootstrap:
         sample_idx = arrays["idx"][row]
     else:
@@ -59,7 +62,14 @@ def _fit_tree_task(task, arrays) -> DecisionTreeClassifier:
     if per_bootstrap_weighting:
         weight = weight * compute_sample_weight("balanced", y[sample_idx])
     tree = DecisionTreeClassifier(**params, random_state=tree_seed)
-    tree.fit(X[sample_idx], y[sample_idx], sample_weight=weight)
+    if hist:
+        # The forest binned X once; each tree gathers its bootstrap rows
+        # from the shared uint8 code matrix and reconstructs thresholds
+        # from the shared packed bin edges.
+        edges = Binner.unpack(arrays["bin_values"], arrays["bin_offsets"])
+        tree.fit_binned(X[sample_idx], edges, y[sample_idx], sample_weight=weight)
+    else:
+        tree.fit(X[sample_idx], y[sample_idx], sample_weight=weight)
     return tree
 
 
@@ -93,6 +103,12 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     tree growing) and ``predict_proba`` (per-tree voting); ``None``/1
     is serial, ``-1`` uses every core.  Results are bitwise identical
     across ``n_jobs`` values for a fixed ``random_state``.
+
+    ``tree_method="hist"`` quantile-bins ``X`` once (``max_bins`` bins
+    per feature) and grows every tree over the shared binned matrix --
+    roughly an order of magnitude faster on wide matrices; predictions
+    still take raw feature matrices.  The default ``"exact"`` keeps the
+    historical bitwise-stable output.
     """
 
     def __init__(
@@ -105,6 +121,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         max_features="sqrt",
         bootstrap: bool = True,
         class_weight=None,
+        tree_method: str = "exact",
+        max_bins: int = 255,
         random_state=None,
         n_jobs: int | None = None,
     ):
@@ -116,12 +134,16 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.class_weight = class_weight
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self.random_state = random_state
         self.n_jobs = n_jobs
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1.")
+        if self.tree_method not in ("exact", "hist"):
+            raise ValueError("tree_method must be 'exact' or 'hist'.")
         X, y = check_X_y(X, y)
         y_encoded = self._encode_labels(y)
         n = X.shape[0]
@@ -148,7 +170,21 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         # unchanged, and workers never touch a shared RNG.  The index
         # matrix travels through shared memory like X.
         rng = check_random_state(self.random_state)
-        shared = {"X": X, "y": y_encoded, "w": base_weight}
+        if self.tree_method == "hist":
+            # Bin once per forest; every tree shares the uint8 code
+            # matrix and the packed bin edges through shared memory
+            # (workers never re-bin or receive a pickled copy).
+            binner = Binner(self.max_bins).fit(X)
+            bin_values, bin_offsets = binner.pack()
+            shared = {
+                "Xb": binner.transform(X),
+                "bin_values": bin_values,
+                "bin_offsets": bin_offsets,
+                "y": y_encoded,
+                "w": base_weight,
+            }
+        else:
+            shared = {"X": X, "y": y_encoded, "w": base_weight}
         if self.bootstrap:
             bootstrap_idx = np.empty((self.n_estimators, n), dtype=np.int64)
         tree_seeds = []
@@ -165,6 +201,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             "min_samples_split": self.min_samples_split,
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
+            "tree_method": self.tree_method,
+            "max_bins": self.max_bins,
         }
         tasks = [
             (i, seed, tree_params, self.bootstrap, per_bootstrap_weighting)

@@ -22,6 +22,7 @@ from repro.ml.base import (
     check_is_fitted,
     check_X_y,
 )
+from repro.ml.binning import Binner
 
 __all__ = ["GradientBoostingClassifier"]
 
@@ -137,6 +138,155 @@ class _BoostTree:
                 best = (feature_idx, threshold, column <= threshold)
         return best
 
+    # ------------------------------------------------------------------
+    # Histogram-binned growth (tree_method="hist")
+    # ------------------------------------------------------------------
+    def fit_hist(
+        self,
+        codes: np.ndarray,
+        bin_edges: list[np.ndarray],
+        keys: np.ndarray,
+        starts: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> None:
+        """Grow over a pre-binned matrix with G/H/count histograms.
+
+        ``keys`` is the per-(sample, feature) flat bin key matrix
+        ``starts[f] + codes[i, f]`` -- the boosting loop computes it once
+        and reuses it for every round.  Unlike the classification hist
+        builder (which histograms only each node's candidate features),
+        the GBM scores *every* feature at every node, so full-width
+        histograms pay off and enable the sibling-subtraction trick:
+        only the smaller child of a split is re-scanned, the larger
+        child's histogram is the parent's minus the sibling's.
+        """
+        self._codes = codes
+        self._edges = bin_edges
+        self._keys = keys
+        self._starts = starts
+        self._total_bins = int(starts[-1])
+        self._grad = grad
+        self._hess = hess
+        self._grow_hist(np.arange(codes.shape[0]), depth=0, hists=None)
+        del self._codes, self._edges, self._keys, self._grad, self._hess
+
+    def _node_hists(self, indices: np.ndarray):
+        flat = self._keys[indices].ravel()
+        n_features = self._keys.shape[1]
+        g_hist = np.bincount(
+            flat,
+            weights=np.repeat(self._grad[indices], n_features),
+            minlength=self._total_bins,
+        )
+        h_hist = np.bincount(
+            flat,
+            weights=np.repeat(self._hess[indices], n_features),
+            minlength=self._total_bins,
+        )
+        n_hist = np.bincount(flat, minlength=self._total_bins)
+        return g_hist, h_hist, n_hist
+
+    def _grow_hist(self, indices: np.ndarray, depth: int, hists) -> int:
+        g_total = float(self._grad[indices].sum())
+        h_total = float(self._hess[indices].sum())
+        if (
+            depth >= self.max_depth
+            or indices.size < 2
+            or self._n_leaves >= self.max_leaves - 1
+        ):
+            return self._leaf(g_total, h_total)
+
+        if hists is None:
+            hists = self._node_hists(indices)
+        split = self._best_split_hist(indices, hists, g_total, h_total)
+        if split is None:
+            return self._leaf(g_total, h_total)
+        feature_idx, threshold, left_mask = split
+
+        node = len(self.feature)
+        self.feature.append(feature_idx)
+        self.threshold.append(threshold)
+        self.left.append(-2)
+        self.right.append(-2)
+        self.leaf_value.append(0.0)
+
+        left_indices = indices[left_mask]
+        right_indices = indices[~left_mask]
+        # Sibling subtraction, but only when re-scanning the smaller
+        # child would cost more than the subtraction itself
+        # (n_small x n_features vs total_bins array ops); below that
+        # cutoff each child cheaply rebuilds its own histogram on
+        # demand, which also keeps live histogram memory bounded: an
+        # ancestor only holds histograms for splits whose *smaller*
+        # side exceeded total_bins / n_features samples, and node size
+        # shrinks by at least that much at every such level.
+        left_hists = right_hists = None
+        smaller_n = min(left_indices.size, right_indices.size)
+        if smaller_n * self._keys.shape[1] > self._total_bins:
+            if left_indices.size <= right_indices.size:
+                left_hists = self._node_hists(left_indices)
+                right_hists = tuple(p - c for p, c in zip(hists, left_hists))
+            else:
+                right_hists = self._node_hists(right_indices)
+                left_hists = tuple(p - c for p, c in zip(hists, right_hists))
+        del hists
+
+        left_id = self._grow_hist(left_indices, depth + 1, left_hists)
+        left_hists = None
+        right_id = self._grow_hist(right_indices, depth + 1, right_hists)
+        self.left[node] = left_id
+        self.right[node] = right_id
+        return node
+
+    def _best_split_hist(self, indices, hists, g_total, h_total):
+        g_hist, h_hist, n_hist = hists
+        parent_score = g_total * g_total / (h_total + self.reg_lambda)
+
+        # Only occupied bins can host a boundary (an empty bin's split
+        # duplicates its predecessor's); each feature's last occupied
+        # bin is excluded because nothing would go right.
+        occupied = np.flatnonzero(n_hist > 0)
+        occ_feat = np.searchsorted(self._starts, occupied, side="right") - 1
+        boundary_pos = np.flatnonzero(occ_feat[:-1] == occ_feat[1:])
+        if boundary_pos.size == 0:
+            return None
+
+        cum_g = np.cumsum(g_hist[occupied])
+        cum_h = np.cumsum(h_hist[occupied])
+        n_features = self._keys.shape[1]
+        first_occ = np.searchsorted(occ_feat, np.arange(n_features))
+        base_g = np.concatenate(([0.0], cum_g))
+        base_h = np.concatenate(([0.0], cum_h))
+        boundary_base = first_occ[occ_feat[boundary_pos]]
+        g_left = cum_g[boundary_pos] - base_g[boundary_base]
+        h_left = cum_h[boundary_pos] - base_h[boundary_base]
+        g_right = g_total - g_left
+        h_right = h_total - h_left
+
+        valid = np.flatnonzero(
+            (h_left >= self.min_child_weight)
+            & (h_right >= self.min_child_weight)
+        )
+        if valid.size == 0:
+            return None
+        g_left, h_left = g_left[valid], h_left[valid]
+        g_right, h_right = g_right[valid], h_right[valid]
+        gains = 0.5 * (
+            g_left**2 / (h_left + self.reg_lambda)
+            + g_right**2 / (h_right + self.reg_lambda)
+            - parent_score
+        ) - self.gamma
+        local = int(np.argmax(gains))
+        if gains[local] <= 0.0:
+            return None
+        best_flat = int(occupied[boundary_pos[valid[local]]])
+        feature_idx = int(occ_feat[boundary_pos[valid[local]]])
+        split_bin = best_flat - int(self._starts[feature_idx])
+        threshold = float(self._edges[feature_idx][split_bin])
+        left_mask = self._codes[indices, feature_idx] <= split_bin
+        return feature_idx, threshold, left_mask
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         feature = np.asarray(self.feature)
         threshold = np.asarray(self.threshold)
@@ -171,6 +321,8 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         reg_lambda: float = 1.0,
         subsample: float = 1.0,
         max_leaves: int = 4096,
+        tree_method: str = "exact",
+        max_bins: int = 255,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -181,9 +333,13 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         self.reg_lambda = reg_lambda
         self.subsample = subsample
         self.max_leaves = max_leaves
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self.random_state = random_state
 
     def fit(self, X, y) -> "GradientBoostingClassifier":
+        if self.tree_method not in ("exact", "hist"):
+            raise ValueError("tree_method must be 'exact' or 'hist'.")
         X, y = check_X_y(X, y)
         y_encoded = self._encode_labels(y)
         if len(self.classes_) != 2:
@@ -191,6 +347,16 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         n = X.shape[0]
         rng = np.random.default_rng(self.random_state)
         target = y_encoded.astype(np.float64)
+
+        hist = self.tree_method == "hist"
+        if hist:
+            # Bin once per fit; the flat per-(sample, feature) bin keys
+            # are shared by every boosting round's histograms.
+            binner = Binner(self.max_bins).fit(X)
+            codes = binner.transform(X)
+            starts = np.zeros(len(binner.n_bins_) + 1, dtype=np.int64)
+            np.cumsum(binner.n_bins_, out=starts[1:])
+            keys = codes.astype(np.int64) + starts[:-1]
 
         positive_rate = float(np.clip(target.mean(), 1e-6, 1 - 1e-6))
         self.base_score_ = float(np.log(positive_rate / (1 - positive_rate)))
@@ -212,9 +378,19 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 chosen = rng.random(n) < self.subsample
                 if chosen.sum() < 2:
                     chosen = np.ones(n, dtype=bool)
-                tree.fit(X[chosen], grad[chosen], hess[chosen])
             else:
-                tree.fit(X, grad, hess)
+                chosen = slice(None)
+            if hist:
+                tree.fit_hist(
+                    codes[chosen],
+                    binner.bin_edges_,
+                    keys[chosen],
+                    starts,
+                    grad[chosen],
+                    hess[chosen],
+                )
+            else:
+                tree.fit(X[chosen], grad[chosen], hess[chosen])
             update = tree.predict(X)
             raw += self.learning_rate * update
             self.trees_.append(tree)

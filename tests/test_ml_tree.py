@@ -124,3 +124,99 @@ class TestErrors:
         X_train, y_train, _, _ = binary_data
         with pytest.raises(ValueError, match="max_features"):
             DecisionTreeClassifier(max_features="bogus").fit(X_train, y_train)
+
+
+class TestRandomSplitter:
+    """splitter='random' draws one uniform threshold per examined
+    candidate feature (extra-trees semantics)."""
+
+    def test_fits_and_generalizes(self, binary_data):
+        X_train, y_train, X_test, y_test = binary_data
+        tree = DecisionTreeClassifier(
+            splitter="random", max_depth=10, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, tree.predict(X_test)) > 0.7
+
+    def test_examines_multiple_features(self, binary_data):
+        """The old implementation collapsed to a single candidate per
+        node; across a whole tree the split features covered only a
+        sliver of the informative columns."""
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(
+            splitter="random", max_depth=12, random_state=0
+        ).fit(X_train, y_train)
+        used = np.unique(tree.tree_feature_[tree.tree_feature_ >= 0])
+        assert used.size >= 3
+
+    def test_thresholds_are_not_midpoints(self):
+        """Random thresholds fall anywhere in the node range; a best
+        split on this data would always pick the single midpoint 0.5."""
+        X = np.repeat([0.0, 1.0], 50)[:, None]
+        y = np.repeat([0, 1], 50)
+        thresholds = [
+            DecisionTreeClassifier(splitter="random", random_state=seed)
+            .fit(X, y)
+            .tree_threshold_[0]
+            for seed in range(10)
+        ]
+        assert len({round(t, 12) for t in thresholds}) > 1
+        assert all(0.0 <= t < 1.0 for t in thresholds)
+
+    def test_respects_min_samples_leaf(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(
+            splitter="random", min_samples_leaf=30, random_state=1
+        ).fit(X_train, y_train)
+        leaf_sizes = np.bincount(
+            tree._apply(X_train), minlength=tree.n_nodes_
+        )[tree.tree_feature_ == -1]
+        assert leaf_sizes.min() >= 30
+
+    def test_max_features_limits_candidates(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(
+            splitter="random", max_features=2, max_depth=6, random_state=2
+        ).fit(X_train, y_train)
+        assert tree.n_nodes_ > 1
+
+    def test_invalid_splitter(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        with pytest.raises(ValueError, match="splitter"):
+            DecisionTreeClassifier(splitter="fancy").fit(X_train, y_train)
+
+
+class TestTreeShapeProperties:
+    def test_n_leaves_matches_structure(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(
+            X_train, y_train
+        )
+        assert tree.n_leaves_ == int(np.sum(tree.tree_feature_ == -1))
+        # A binary tree with L leaves has 2L - 1 nodes.
+        assert tree.n_nodes_ == 2 * tree.n_leaves_ - 1
+
+    def test_single_leaf_tree(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(5))
+        assert tree.n_leaves_ == 1
+        assert tree.depth_ == 0
+
+    def test_depth_matches_manual_walk(self, binary_data):
+        X_train, y_train, _, _ = binary_data
+        tree = DecisionTreeClassifier(max_depth=7, random_state=0).fit(
+            X_train, y_train
+        )
+
+        def walk(node):
+            if tree.tree_feature_[node] == -1:
+                return 0
+            return 1 + max(
+                walk(tree.tree_left_[node]), walk(tree.tree_right_[node])
+            )
+
+        assert tree.depth_ == walk(0)
+
+    def test_properties_require_fit(self):
+        with pytest.raises(Exception, match="not fitted"):
+            DecisionTreeClassifier().n_leaves_
+        with pytest.raises(Exception, match="not fitted"):
+            DecisionTreeClassifier().depth_
