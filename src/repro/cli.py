@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows:
+Eight subcommands cover the common workflows:
 
 - ``inventory``  -- print the Table-1 training-run inventory;
 - ``dataset``    -- generate the training corpus (optionally save it);
@@ -12,11 +12,16 @@ Seven subcommands cover the common workflows:
 - ``explain``    -- print a saved model's top features and surrogate
   scaling rules;
 - ``stream``     -- drive the closed autoscaling loop tick by tick on
-  the streaming (incremental) data path and report throughput.
+  the streaming (incremental) data path and report throughput;
+- ``obs``        -- run a short instrumented closed loop and export the
+  runtime's own metrics (JSON / Prometheus text) and span tree.
 
 The generation/training paths accept ``--jobs N`` (``-1`` = all cores)
 to fan session simulation, tree fitting and grid-search evaluation out
 over worker processes; outputs are bitwise independent of ``--jobs``.
+``train``/``evaluate``/``stream`` accept ``--trace`` to record the
+run's internal spans and metrics (see :mod:`repro.obs`) and print them
+on completion; results are identical with or without it.
 
 Examples::
 
@@ -26,7 +31,8 @@ Examples::
     python -m repro gridsearch --duration 120 --jobs -1
     python -m repro evaluate --model model.pkl --scenario elgg
     python -m repro explain --model model.pkl --duration 150
-    python -m repro stream --model model.pkl --duration 600
+    python -m repro stream --model model.pkl --duration 600 --trace
+    python -m repro obs --duration 120 --format prom
 """
 
 from __future__ import annotations
@@ -50,6 +56,30 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None,
         help="worker processes (default serial; -1 = all cores)",
     )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record runtime spans + metrics (repro.obs) and print the "
+             "span tree, JSON snapshot and Prometheus exposition on exit",
+    )
+
+
+def _print_observability(out) -> None:
+    """Span tree + metrics snapshot (JSON and Prometheus text)."""
+    from repro import obs
+
+    snapshot = obs.snapshot()
+    print("\n== span tree ==", file=out)
+    print(
+        obs.render_span_tree(obs.span_roots(), dropped=obs.dropped_spans()),
+        file=out,
+    )
+    print("\n== metrics (json) ==", file=out)
+    print(obs.metrics_to_json(snapshot), file=out)
+    print("\n== metrics (prometheus) ==", file=out)
+    print(obs.metrics_to_prometheus(snapshot), file=out, end="")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     _add_tree_method_argument(train)
     _add_jobs_argument(train)
+    _add_trace_argument(train)
 
     gridsearch = commands.add_parser(
         "gridsearch",
@@ -110,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="evaluation-trace seconds")
     evaluate.add_argument("--k", type=int, default=2, help="lag tolerance")
     evaluate.add_argument("--seed", type=int, default=0)
+    _add_trace_argument(evaluate)
 
     explain = commands.add_parser("explain", help="inspect a saved model")
     explain.add_argument("--model", required=True)
@@ -128,6 +160,24 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--batch", action="store_true",
                         help="use the batch data path instead, for comparison")
     stream.add_argument("--seed", type=int, default=0)
+    _add_trace_argument(stream)
+
+    observe = commands.add_parser(
+        "obs",
+        help="run a short instrumented closed loop and export runtime "
+             "metrics + spans",
+    )
+    observe.add_argument("--duration", type=int, default=120,
+                         help="closed-loop seconds to drive (default 120)")
+    observe.add_argument("--model", default=None,
+                         help="optional saved model for the monitorless "
+                              "streaming policy (default: a static-threshold "
+                              "policy, which needs no model)")
+    observe.add_argument("--format", choices=("json", "prom", "text", "all"),
+                         default="all",
+                         help="metrics export format; 'text' = span tree "
+                              "only, 'all' = span tree + JSON + Prometheus")
+    observe.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -381,6 +431,77 @@ def _cmd_stream(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    from repro import obs
+    from repro.apps.teastore import teastore_application
+    from repro.cluster.simulation import ClusterSimulation, Placement
+    from repro.core.thresholds import ThresholdBaseline
+    from repro.datasets.experiments import evaluation_nodes, teastore_placements
+    from repro.orchestrator.autoscaler import ScalingRules
+    from repro.orchestrator.loop import Orchestrator
+    from repro.orchestrator.policies import MonitorlessPolicy, ThresholdPolicy
+    from repro.telemetry.agent import TelemetryAgent
+    from repro.workloads.patterns import linear_ramp
+
+    simulation = ClusterSimulation(evaluation_nodes(), seed=args.seed)
+    simulation.deploy(teastore_application(), teastore_placements())
+    agent = TelemetryAgent(seed=args.seed)
+    if args.model:
+        from repro.core.model import MonitorlessModel
+
+        policy = MonitorlessPolicy(
+            MonitorlessModel.load(args.model), agent, window=16, streaming=True
+        )
+    else:
+        policy = ThresholdPolicy(
+            ThresholdBaseline(
+                kind="cpu-or-mem", cpu_threshold=80.0, mem_threshold=80.0
+            ),
+            agent,
+        )
+    rules = ScalingRules(
+        placements={
+            "auth": Placement(node="M2", cpu_limit=2.0, memory_limit=4 * 2**30),
+            "recommender": Placement(
+                node="M2", cpu_limit=1.0, memory_limit=4 * 2**30
+            ),
+            "webui": Placement(node="M2", cpu_limit=1.0, memory_limit=4 * 2**30),
+        },
+        replica_lifespan=120,
+        scale_groups=(("auth", "recommender"),),
+    )
+    orchestrator = Orchestrator(simulation, "teastore", policy, rules)
+    # A saturating ramp: enough load that the policy fires and the
+    # autoscaler/fault counters have something to show at any duration.
+    workload = linear_ramp(args.duration, 10, 240)
+
+    obs.reset()
+    obs.enable()
+    try:
+        result = orchestrator.run({"teastore": workload})
+    finally:
+        obs.disable()
+    print(
+        f"Drove {args.duration} instrumented ticks with the "
+        f"{policy.name} policy ({result.total_scale_outs} scale-outs).",
+        file=out,
+    )
+    snapshot = obs.snapshot()
+    if args.format in ("text", "all"):
+        print("\n== span tree ==", file=out)
+        print(
+            obs.render_span_tree(obs.span_roots(), dropped=obs.dropped_spans()),
+            file=out,
+        )
+    if args.format in ("json", "all"):
+        print("\n== metrics (json) ==", file=out)
+        print(obs.metrics_to_json(snapshot), file=out)
+    if args.format in ("prom", "all"):
+        print("\n== metrics (prometheus) ==", file=out)
+        print(obs.metrics_to_prometheus(snapshot), file=out, end="")
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "dataset": _cmd_dataset,
@@ -389,6 +510,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "explain": _cmd_explain,
     "stream": _cmd_stream,
+    "obs": _cmd_obs,
 }
 
 
@@ -396,7 +518,22 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    tracing = getattr(args, "trace", False)
+    if tracing:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+    try:
+        code = _COMMANDS[args.command](args, out)
+    finally:
+        if tracing:
+            from repro import obs
+
+            obs.disable()
+    if tracing and code == 0:
+        _print_observability(out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,10 +19,12 @@ way real collectors behave on a missed scrape).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.simulation import ClusterSimulation, SimulationResult
 
 __all__ = ["NodeSlowdown", "DiskDegradation", "FaultSchedule", "MetricDropout"]
@@ -104,20 +106,42 @@ class FaultSchedule:
         if missing:
             raise ValueError(f"Faults target unknown nodes: {sorted(missing)}.")
 
-        for t in range(duration):
-            for node_name, faults in self._by_node.items():
-                spec = pristine[node_name]
-                for fault in faults:
-                    if fault.active(t):
-                        spec = fault.apply(spec)
+        # The tick loop swaps degraded specs in before every step, so a
+        # step that raises mid-run (bad arrival value, engine assertion)
+        # would otherwise leave the simulation permanently degraded;
+        # restore pristine capacity whichever way the loop exits.
+        obs.inc("faults.runs")
+        try:
+            with obs.trace("faults.run"):
+                for t in range(duration):
+                    for node_name, faults in self._by_node.items():
+                        spec = pristine[node_name]
+                        for fault in faults:
+                            if fault.active(t):
+                                spec = fault.apply(spec)
+                                obs.inc("faults.active_fault_ticks")
+                        simulation.nodes[node_name].spec = spec
+                    simulation.step(
+                        {app: float(series[t]) for app, series in workloads.items()}
+                    )
+        finally:
+            for node_name, spec in pristine.items():
                 simulation.nodes[node_name].spec = spec
-            simulation.step(
-                {app: float(series[t]) for app, series in workloads.items()}
-            )
-        # Restore pristine capacity after the run.
-        for node_name, spec in pristine.items():
-            simulation.nodes[node_name].spec = spec
         return simulation.result()
+
+
+def _dropout_seed(seed: int, stream: str) -> int:
+    """Stable 64-bit RNG seed for one (dropout seed, stream) pair.
+
+    Python's builtin ``hash()`` is salted by ``PYTHONHASHSEED`` and so
+    differs between processes -- which silently made dropout masks
+    differ across runs and across ``n_jobs`` workers.  A keyed blake2b
+    digest is identical everywhere.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{stream}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
 
 
 class MetricDropout:
@@ -125,7 +149,10 @@ class MetricDropout:
 
     Missing readings repeat the previous observed value (sample-and-
     hold), matching how scrape-based collectors surface gaps.  The
-    dropout pattern is deterministic given the seed.
+    dropout pattern is deterministic given the seed: masks are derived
+    via a stable content hash (never Python's salted ``hash()``), so
+    two processes with different ``PYTHONHASHSEED`` values -- including
+    ``parallel_map`` workers -- produce bitwise-identical matrices.
     """
 
     def __init__(self, agent, probability: float, seed: int = 0):
@@ -141,9 +168,12 @@ class MetricDropout:
     def _apply_dropout(self, matrix: np.ndarray, stream: str) -> np.ndarray:
         if self.probability == 0.0:
             return matrix
-        rng = np.random.default_rng(hash((self.seed, stream)) & 0x7FFFFFFF)
+        rng = np.random.default_rng(_dropout_seed(self.seed, stream))
         dropped = rng.random(matrix.shape) < self.probability
         dropped[0] = False  # the first sample always exists
+        if obs.enabled():
+            obs.inc("faults.dropout_matrices")
+            obs.inc("faults.readings_dropped", float(dropped.sum()))
         result = matrix.copy()
         for t in range(1, result.shape[0]):
             row_dropped = dropped[t]

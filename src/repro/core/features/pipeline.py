@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.features.binary import BinaryLevelFeatures
 from repro.core.features.interactions import InteractionFeatures
 from repro.core.features.meta import FeatureMeta
@@ -208,19 +209,21 @@ class MonitorlessPipeline:
             raise RuntimeError("Pipeline must be fit_transform-ed first.")
         X = np.asarray(X, dtype=np.float64)
         meta = list(meta)
-        X, meta = self.binary_.transform(X, meta)
-        X, meta = self.log_.transform(X, meta)
-        if self.scaler_ is not None:
-            X = self.scaler_.transform(X)
-        if self.reduction1_ is not None:
-            X, meta = self.reduction1_.transform(X, meta)
-        if self.temporal_ is not None:
-            X, meta = self.temporal_.transform(X, meta, groups)
-        if self.interactions_ is not None:
-            X, meta = self.interactions_.transform(X, meta)
-        if self.reduction2_ is not None:
-            X, meta = self.reduction2_.transform(X, meta)
-        X, meta = self.variance_.transform(X, meta)
+        with obs.trace("pipeline.transform"):
+            X, meta = self.binary_.transform(X, meta)
+            X, meta = self.log_.transform(X, meta)
+            if self.scaler_ is not None:
+                X = self.scaler_.transform(X)
+            if self.reduction1_ is not None:
+                X, meta = self.reduction1_.transform(X, meta)
+            if self.temporal_ is not None:
+                X, meta = self.temporal_.transform(X, meta, groups)
+            if self.interactions_ is not None:
+                X, meta = self.interactions_.transform(X, meta)
+            if self.reduction2_ is not None:
+                X, meta = self.reduction2_.transform(X, meta)
+            X, meta = self.variance_.transform(X, meta)
+        obs.inc("pipeline.transform_rows", X.shape[0])
         return X, meta
 
     @property
@@ -291,19 +294,31 @@ class PipelineStream:
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
             raise ValueError("push expects a single 1-D metric row.")
-        row = pipeline.binary_.transform_tick(row)
-        row = pipeline.log_.transform_tick(row)
-        if pipeline.scaler_ is not None:
-            row = pipeline.scaler_.transform_tick(row)
-        if pipeline.reduction1_ is not None:
-            row = pipeline.reduction1_.transform_tick(row)
-        if pipeline.temporal_ is not None:
-            row = pipeline.temporal_.transform_tick(row, self.temporal_state)
-        if pipeline.interactions_ is not None:
-            row = pipeline.interactions_.transform_tick(row)
-        if pipeline.reduction2_ is not None:
-            row = pipeline.reduction2_.transform_tick(row)
-        row = pipeline.variance_.transform_tick(row)
+        with obs.trace("pipeline.transform_tick"):
+            with obs.trace("pipeline.step.binary"):
+                row = pipeline.binary_.transform_tick(row)
+            with obs.trace("pipeline.step.log"):
+                row = pipeline.log_.transform_tick(row)
+            if pipeline.scaler_ is not None:
+                with obs.trace("pipeline.step.normalize"):
+                    row = pipeline.scaler_.transform_tick(row)
+            if pipeline.reduction1_ is not None:
+                with obs.trace("pipeline.step.reduction1"):
+                    row = pipeline.reduction1_.transform_tick(row)
+            if pipeline.temporal_ is not None:
+                with obs.trace("pipeline.step.temporal"):
+                    row = pipeline.temporal_.transform_tick(
+                        row, self.temporal_state
+                    )
+            if pipeline.interactions_ is not None:
+                with obs.trace("pipeline.step.interactions"):
+                    row = pipeline.interactions_.transform_tick(row)
+            if pipeline.reduction2_ is not None:
+                with obs.trace("pipeline.step.reduction2"):
+                    row = pipeline.reduction2_.transform_tick(row)
+            with obs.trace("pipeline.step.variance"):
+                row = pipeline.variance_.transform_tick(row)
+        obs.inc("pipeline.ticks")
         self.ticks += 1
         return row
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.ml.base import (
     BaseEstimator,
     ClassifierMixin,
@@ -62,14 +63,20 @@ def _fit_tree_task(task, arrays) -> DecisionTreeClassifier:
     if per_bootstrap_weighting:
         weight = weight * compute_sample_weight("balanced", y[sample_idx])
     tree = DecisionTreeClassifier(**params, random_state=tree_seed)
-    if hist:
-        # The forest binned X once; each tree gathers its bootstrap rows
-        # from the shared uint8 code matrix and reconstructs thresholds
-        # from the shared packed bin edges.
-        edges = Binner.unpack(arrays["bin_values"], arrays["bin_offsets"])
-        tree.fit_binned(X[sample_idx], edges, y[sample_idx], sample_weight=weight)
-    else:
-        tree.fit(X[sample_idx], y[sample_idx], sample_weight=weight)
+    # Recordings land in whichever process grows the tree: the parent
+    # when serial, the worker's own registry when pooled.
+    with obs.trace("forest.fit_tree"):
+        if hist:
+            # The forest binned X once; each tree gathers its bootstrap
+            # rows from the shared uint8 code matrix and reconstructs
+            # thresholds from the shared packed bin edges.
+            edges = Binner.unpack(arrays["bin_values"], arrays["bin_offsets"])
+            tree.fit_binned(
+                X[sample_idx], edges, y[sample_idx], sample_weight=weight
+            )
+        else:
+            tree.fit(X[sample_idx], y[sample_idx], sample_weight=weight)
+    obs.inc("forest.trees_fitted")
     return tree
 
 
@@ -83,12 +90,15 @@ def _predict_proba_task(task, arrays) -> np.ndarray:
     trees, n_classes = task
     X = arrays["X"]
     votes = np.zeros((X.shape[0], n_classes))
-    for tree in trees:
-        # Trees are fitted on encoded labels, so their class order
-        # matches the forest's as long as every bootstrap saw all
-        # classes; map via each tree's own classes_ to stay correct
-        # when one did not.
-        votes[:, tree.classes_] += tree.tree_value_[tree._apply(X)]
+    with obs.trace("forest.predict_chunk"):
+        for tree in trees:
+            # Trees are fitted on encoded labels, so their class order
+            # matches the forest's as long as every bootstrap saw all
+            # classes; map via each tree's own classes_ to stay correct
+            # when one did not.
+            votes[:, tree.classes_] += tree.tree_value_[tree._apply(X)]
+    obs.inc("forest.predict_chunks")
+    obs.inc("forest.predict_chunk_trees", len(trees))
     return votes
 
 
@@ -208,9 +218,10 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             (i, seed, tree_params, self.bootstrap, per_bootstrap_weighting)
             for i, seed in enumerate(tree_seeds)
         ]
-        self.estimators_: list[DecisionTreeClassifier] = parallel_map(
-            _fit_tree_task, tasks, n_jobs=self.n_jobs, shared=shared
-        )
+        with obs.trace("forest.fit"):
+            self.estimators_: list[DecisionTreeClassifier] = parallel_map(
+                _fit_tree_task, tasks, n_jobs=self.n_jobs, shared=shared
+            )
 
         self.n_features_in_ = X.shape[1]
         importances = np.mean(
@@ -235,13 +246,14 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         ]
         # Each task already bundles _PREDICT_CHUNK_TREES trees, so one
         # task per dispatch is the right scheduling granularity.
-        partials = parallel_map(
-            _predict_proba_task,
-            [(chunk, k) for chunk in chunks],
-            n_jobs=self.n_jobs,
-            shared={"X": X},
-            chunk_size=1,
-        )
+        with obs.trace("forest.predict_proba"):
+            partials = parallel_map(
+                _predict_proba_task,
+                [(chunk, k) for chunk in chunks],
+                n_jobs=self.n_jobs,
+                shared={"X": X},
+                chunk_size=1,
+            )
         accumulated = partials[0]
         for votes in partials[1:]:
             accumulated = accumulated + votes

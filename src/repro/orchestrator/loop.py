@@ -9,10 +9,12 @@ the full KPI timeline.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.simulation import ClusterSimulation
 from repro.orchestrator.autoscaler import Autoscaler, ScalingRules
 from repro.orchestrator.slo import SloPolicy, slo_violations
@@ -121,16 +123,36 @@ class Orchestrator:
         """Advance the loop one second: step, predict, scale, account."""
         if not hasattr(self, "_extra"):
             raise RuntimeError("Call start() before tick().")
-        self.simulation.step({app: float(rate) for app, rate in arrivals.items()})
-        if self.autoscaler is not None and self._t % self.decision_interval == 0:
-            saturated = self.policy.saturated_services(
-                self.simulation, self.application, self._t
+        timed = obs.enabled()
+        started = time.perf_counter() if timed else 0.0
+        with obs.trace("orchestrator.tick"):
+            with obs.trace("simulation.step"):
+                self.simulation.step(
+                    {app: float(rate) for app, rate in arrivals.items()}
+                )
+            if (
+                self.autoscaler is not None
+                and self._t % self.decision_interval == 0
+            ):
+                with obs.trace("policy.saturated_services"):
+                    saturated = self.policy.saturated_services(
+                        self.simulation, self.application, self._t
+                    )
+                with obs.trace("autoscaler.act"):
+                    self.autoscaler.act(saturated, self._t)
+            self._extra.append(
+                self.autoscaler.extra_replicas if self.autoscaler else 0
             )
-            self.autoscaler.act(saturated, self._t)
-        self._extra.append(
-            self.autoscaler.extra_replicas if self.autoscaler else 0
-        )
-        self._t += 1
+            self._t += 1
+        if timed:
+            obs.inc("orchestrator.ticks")
+            obs.observe(
+                "orchestrator.tick_seconds", time.perf_counter() - started
+            )
+            if self.autoscaler is not None:
+                obs.set_gauge(
+                    "orchestrator.extra_replicas", self.autoscaler.extra_replicas
+                )
 
     def finish(self) -> OrchestratorResult:
         """Close the run and compute provisioning / SLO accounting."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.model import MonitorlessModel
 from repro.core.thresholds import ThresholdBaseline
@@ -118,14 +119,21 @@ class MonitorlessPolicy:
     ) -> set[str]:
         if not current_rows:
             return set()
-        batch = np.vstack(current_rows)
-        classifier = self.model.classifier_
-        if hasattr(classifier, "predict_proba"):
-            positive = classifier.predict_proba(batch)[:, 1]
-            flags = positive >= self.model.prediction_threshold
-        else:
-            flags = np.asarray(classifier.predict(batch)) == 1
-        return {service for service, flag in zip(services, flags) if flag}
+        with obs.trace("policy.classify"):
+            batch = np.vstack(current_rows)
+            classifier = self.model.classifier_
+            if hasattr(classifier, "predict_proba"):
+                positive = classifier.predict_proba(batch)[:, 1]
+                flags = positive >= self.model.prediction_threshold
+            else:
+                flags = np.asarray(classifier.predict(batch)) == 1
+        saturated = {
+            service for service, flag in zip(services, flags) if flag
+        }
+        if obs.enabled():
+            obs.inc("policy.classified_instances", len(services))
+            obs.inc("policy.saturation_verdicts", len(saturated))
+        return saturated
 
     def _stream_for(self, container, simulation) -> _ContainerStream:
         stream = self._streams.get(container.name)

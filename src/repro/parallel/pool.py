@@ -21,12 +21,14 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.parallel.jobs import _WORKER_ENV, in_worker, resolve_n_jobs
 from repro.parallel.shm import ArraySpec, SharedArrays, attach_arrays
 
@@ -54,6 +56,23 @@ def _worker_init(specs: list[ArraySpec], untrack: bool) -> None:
 
 def _run_chunk(func: Callable[[Any, dict], Any], chunk: Sequence[Any]) -> list:
     return [func(item, _worker_arrays) for item in chunk]
+
+
+def _run_chunk_timed(
+    func: Callable[[Any, dict], Any], chunk: Sequence[Any], submitted: float
+) -> tuple[list, float, float]:
+    """Observability variant of :func:`_run_chunk`.
+
+    Returns the results plus the chunk's queue wait (submit in the
+    parent until a worker picks it up; ``perf_counter`` is the
+    system-wide CLOCK_MONOTONIC under the fork start method, so the
+    parent/worker timestamps are comparable) and its execute time.
+    The parent records both -- worker-side registries are process-local
+    and die with the pool.
+    """
+    started = time.perf_counter()
+    results = [func(item, _worker_arrays) for item in chunk]
+    return results, max(0.0, started - submitted), time.perf_counter() - started
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +124,14 @@ def parallel_map(
     shared = dict(shared or {})
     jobs = min(resolve_n_jobs(n_jobs), len(items)) if items else 1
     if jobs <= 1 or in_worker():
-        return [func(item, shared) for item in items]
+        if not obs.enabled():
+            return [func(item, shared) for item in items]
+        with obs.trace("parallel.serial"):
+            started = time.perf_counter()
+            results = [func(item, shared) for item in items]
+        obs.inc("parallel.items", len(items))
+        obs.observe("parallel.execute_seconds", time.perf_counter() - started)
+        return results
 
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(items) / (jobs * 4)))
@@ -115,6 +141,14 @@ def parallel_map(
     ]
 
     context = _pool_context()
+    # Timed dispatch only swaps the chunk wrapper; items, chunking and
+    # result order are identical, so outputs never depend on whether
+    # observability is on.
+    timed = obs.enabled()
+    if timed:
+        obs.set_gauge("parallel.workers", jobs)
+        obs.inc("parallel.pool_runs")
+        obs.inc("parallel.items", len(items))
     with SharedArrays(shared) as segments:
         executor = ProcessPoolExecutor(
             max_workers=jobs,
@@ -123,13 +157,28 @@ def parallel_map(
             initargs=(segments.specs, context.get_start_method() != "fork"),
         )
         try:
-            futures = [
-                executor.submit(_run_chunk, func, chunk) for chunk in chunks
-            ]
+            if timed:
+                futures = [
+                    executor.submit(
+                        _run_chunk_timed, func, chunk, time.perf_counter()
+                    )
+                    for chunk in chunks
+                ]
+            else:
+                futures = [
+                    executor.submit(_run_chunk, func, chunk) for chunk in chunks
+                ]
             results: list = []
             try:
                 for future in futures:
-                    results.extend(future.result())
+                    if timed:
+                        chunk_results, queue_wait, execute = future.result()
+                        obs.inc("parallel.chunks")
+                        obs.observe("parallel.queue_wait_seconds", queue_wait)
+                        obs.observe("parallel.execute_seconds", execute)
+                        results.extend(chunk_results)
+                    else:
+                        results.extend(future.result())
             except BrokenProcessPool as error:
                 raise WorkerCrashError(
                     "A parallel worker died without raising (killed, "

@@ -17,6 +17,7 @@ import hashlib
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.container import Container
 from repro.cluster.node import Node
 from repro.telemetry.catalog import (
@@ -207,9 +208,12 @@ class TelemetryAgent:
             start = container.created_at
         if end is None:
             end = container.created_at + len(container.history)
-        host = self.host_metrics(node, start, end)
-        own = self.container_metrics(container, node, start, end)
-        return np.hstack([host, own])
+        with obs.trace("telemetry.instance_matrix"):
+            host = self.host_metrics(node, start, end)
+            own = self.container_metrics(container, node, start, end)
+            matrix = np.hstack([host, own])
+        obs.inc("telemetry.rows_synthesized", matrix.shape[0])
+        return matrix
 
     # ------------------------------------------------------------------
     # Streaming

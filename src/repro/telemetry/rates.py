@@ -18,9 +18,13 @@ def counters_to_rates(
 ) -> np.ndarray:
     """Differentiate cumulative counter columns into per-second rates.
 
-    The first sample of a counter has no predecessor; like PCP, we
-    repeat the first computed rate (rather than emit a bogus 0 or the
-    raw cumulative value).  Counter wraps / resets (negative diffs) are
+    The first sample of a counter has no predecessor; with two or more
+    samples we back-fill it with the first computed rate, like PCP
+    (rather than emit a bogus 0 or the raw cumulative value).  A
+    **single-sample** window has no delta to back-fill from, so its
+    lone row gets rate 0.0 -- the same value the causal streaming
+    emitter (:mod:`repro.telemetry.stream`) produces for a first tick
+    with no successor.  Counter wraps / resets (negative diffs) are
     clamped to 0.
     """
     values = np.asarray(values, dtype=np.float64)

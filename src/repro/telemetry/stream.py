@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.container import Container
 from repro.cluster.node import Node
 from repro.telemetry.catalog import MetricCatalog, MetricSpec
@@ -150,14 +151,16 @@ class InstanceTelemetryStream:
                 f"Container {self.container.name} has no recorded tick {t}; "
                 "advance the simulation before emitting."
             )
-        host_state = self.agent.host_state(self.node, t, t + 1)[0]
-        container_state = self.agent.container_state(
-            self.container, self.node, t, t + 1
-        )[0]
-        row = np.concatenate(
-            [self._host.step(host_state), self._container.step(container_state)]
-        )
-        self.tail.push(row)
+        with obs.trace("telemetry.emit"):
+            host_state = self.agent.host_state(self.node, t, t + 1)[0]
+            container_state = self.agent.container_state(
+                self.container, self.node, t, t + 1
+            )[0]
+            row = np.concatenate(
+                [self._host.step(host_state), self._container.step(container_state)]
+            )
+            self.tail.push(row)
+        obs.inc("telemetry.rows_emitted")
         self._next = t + 1
         return row
 

@@ -91,3 +91,57 @@ class TestTrainEvaluateExplain:
         text = out.getvalue()
         assert "Surrogate scaling rules" in text
         assert "fidelity" in text
+
+    def test_stream_trace_emits_spans_and_metrics(self, model_path):
+        from repro import obs
+
+        out = io.StringIO()
+        code = main(
+            ["stream", "--model", str(model_path), "--duration", "600",
+             "--trace"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "== span tree ==" in text
+        assert "orchestrator.tick" in text
+        assert "pipeline.transform_tick" in text
+        assert "== metrics (json) ==" in text
+        assert '"orchestrator.ticks": 600.0' in text
+        assert "== metrics (prometheus) ==" in text
+        assert "repro_orchestrator_ticks 600" in text
+        assert "repro_telemetry_rows_emitted" in text
+        # The CLI turns recording back off on exit.
+        assert not obs.enabled()
+        obs.reset()
+
+
+class TestObsCommand:
+    def test_obs_runs_and_exports_all_formats(self):
+        from repro import obs
+
+        out = io.StringIO()
+        code = main(["obs", "--duration", "30"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "Drove 30 instrumented ticks" in text
+        assert "== span tree ==" in text
+        assert "orchestrator.tick" in text
+        assert "simulation.step" in text
+        assert '"orchestrator.ticks": 30.0' in text
+        assert "repro_orchestrator_ticks 30" in text
+        assert 'repro_orchestrator_tick_seconds_bucket{le="+Inf"} 30' in text
+        assert not obs.enabled()
+        obs.reset()
+
+    def test_obs_prom_only(self):
+        from repro import obs
+
+        out = io.StringIO()
+        code = main(["obs", "--duration", "10", "--format", "prom"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "repro_orchestrator_ticks 10" in text
+        assert "== span tree ==" not in text
+        assert "== metrics (json) ==" not in text
+        obs.reset()

@@ -1,5 +1,8 @@
 """Tests for fault injection and monitorless robustness under faults."""
 
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -92,6 +95,19 @@ class TestFaultSchedule:
         with pytest.raises(ValueError, match="unknown nodes"):
             FaultSchedule([fault]).run(solr_sim(), {"solr": constant(3, 1.0)})
 
+    def test_spec_restored_when_step_raises_mid_run(self):
+        """A workload that blows up mid-run must not leave the degraded
+        node spec installed (regression: the restore loop used to run
+        only after a *successful* run)."""
+        fault = NodeSlowdown(node="training", factor=0.5, start=0, end=12)
+        simulation = solr_sim()
+        # float(None) raises at tick 6, while the slowdown is active and
+        # the degraded 24-core spec is installed.
+        workload = [10.0] * 6 + [None] + [10.0] * 5
+        with pytest.raises(TypeError):
+            FaultSchedule([fault]).run(simulation, {"solr": workload})
+        assert simulation.nodes["training"].spec.cores == 48
+
 
 class TestMetricDropout:
     def _run(self):
@@ -147,3 +163,53 @@ class TestMetricDropout:
     def test_invalid_probability(self):
         with pytest.raises(ValueError):
             MetricDropout(TelemetryAgent(seed=0), probability=1.0)
+
+    def test_dropout_identical_across_hashseed_values(self, tmp_path):
+        """Dropout masks must be bitwise identical in processes with
+        different ``PYTHONHASHSEED`` values (regression: the RNG used to
+        be seeded via Python's salted ``hash()``, so 'deterministic
+        given the seed' was false across runs and pool workers)."""
+        import os
+
+        script = tmp_path / "dropout_digest.py"
+        script.write_text(
+            "import hashlib, types\n"
+            "import numpy as np\n"
+            "from repro.cluster.faults import MetricDropout\n"
+            "dropout = MetricDropout(\n"
+            "    types.SimpleNamespace(catalog=None), probability=0.3, seed=7\n"
+            ")\n"
+            "matrix = np.arange(600, dtype=np.float64).reshape(30, 20)\n"
+            "out = dropout._apply_dropout(matrix, 'container-3')\n"
+            "print(hashlib.sha256(out.tobytes()).hexdigest())\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        digests = []
+        for hashseed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src_dir, env.get("PYTHONPATH")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+        # ... and the in-process result matches both.
+        import hashlib
+        import types
+
+        dropout = MetricDropout(
+            types.SimpleNamespace(catalog=None), probability=0.3, seed=7
+        )
+        matrix = np.arange(600, dtype=np.float64).reshape(30, 20)
+        local = hashlib.sha256(
+            dropout._apply_dropout(matrix, "container-3").tobytes()
+        ).hexdigest()
+        assert local == digests[0]

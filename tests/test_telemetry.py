@@ -170,6 +170,16 @@ class TestRates:
         rates = counters_to_rates(values, np.array([True]), interval_seconds=2.0)
         assert rates[1, 0] == 10.0
 
+    def test_single_sample_counter_rate_is_zero(self):
+        """A length-1 window has no delta to back-fill from; the lone
+        row is 0.0 (the documented contract, matching the streaming
+        emitter's first tick), and gauge columns pass through."""
+        values = np.array([[7.0, 3.5]])
+        rates = counters_to_rates(values, np.array([True, False]))
+        assert rates.shape == (1, 2)
+        assert rates[0, 0] == 0.0
+        assert rates[0, 1] == 3.5
+
     def test_to_percent(self):
         assert to_percent(np.array([5.0]), 10.0)[0] == 50.0
         assert to_percent(np.array([50.0]), 10.0)[0] == 100.0  # clipped
