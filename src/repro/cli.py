@@ -178,6 +178,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="metrics export format; 'text' = span tree "
                               "only, 'all' = span tree + JSON + Prometheus")
     observe.add_argument("--seed", type=int, default=0)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the seeded chaos harness: closed loop under metric "
+             "dropout, injected telemetry failures, blackouts and node "
+             "faults, compared against a clean run",
+    )
+    chaos.add_argument("--model", default=None,
+                       help="optional saved model (default: train a small "
+                            "6-run, 15-tree model first)")
+    chaos.add_argument("--duration", type=int, default=240,
+                       help="closed-loop seconds per run (default 240)")
+    chaos.add_argument("--dropout", type=float, default=0.15,
+                       help="per-reading dropout probability (default 0.15)")
+    chaos.add_argument("--budget", type=int, default=5,
+                       help="staleness budget: consecutive lost ticks "
+                            "bridged by imputation (default 5)")
+    chaos.add_argument("--failsafe", choices=("hold", "scale-up"),
+                       default="hold",
+                       help="verdict when primary and fallback are both "
+                            "unavailable (default hold)")
+    chaos.add_argument("--report", default=None,
+                       help="write the full ChaosReport as JSON here")
+    chaos.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -502,6 +526,57 @@ def _cmd_obs(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import json
+
+    from repro.reliability.chaos import ChaosConfig, run_chaos
+
+    if args.model:
+        from repro.core.model import MonitorlessModel
+
+        model = MonitorlessModel.load(args.model)
+    else:
+        print("No --model given; training a small 6-run model...", file=out)
+        from repro.core.model import MonitorlessModel
+        from repro.datasets.configs import run_by_id
+        from repro.datasets.generate import build_training_corpus
+
+        runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+        corpus = build_training_corpus(
+            duration=80, calibration_duration=100, seed=3, runs=runs
+        )
+        model = MonitorlessModel(
+            classifier_params={"n_estimators": 15}, random_state=args.seed
+        )
+        model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+
+    config = ChaosConfig(
+        dropout_probability=args.dropout,
+        staleness_budget=args.budget,
+        failsafe=args.failsafe,
+        seed=args.seed,
+    )
+    report = run_chaos(
+        model, duration=args.duration, seed=args.seed, config=config
+    )
+    width = max(len(row["quantity"]) for row in report.rows())
+    for row in report.rows():
+        print(f"  {row['quantity']:<{width}}  {row['value']}", file=out)
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"Report written to {args.report}", file=out)
+    if not report.within_bound:
+        print(
+            f"SLO-violation delta {report.violation_delta} exceeds the "
+            f"documented bound {report.violation_bound:.0f}.",
+            file=out,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "dataset": _cmd_dataset,
@@ -511,6 +586,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "stream": _cmd_stream,
     "obs": _cmd_obs,
+    "chaos": _cmd_chaos,
 }
 
 

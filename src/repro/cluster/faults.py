@@ -81,15 +81,72 @@ class FaultSchedule:
     Node specs are swapped in and out around each tick, so the engine's
     fair-sharing sees the degraded capacities exactly during the fault
     windows.
+
+    Overlapping faults targeting the same node compose in a defined
+    order -- sorted by ``(fault.start, type name)``, ties broken by the
+    original list position -- not in whatever order the caller happened
+    to list them.  ``NodeSlowdown`` rounds cores to an integer, so for
+    overlapping windows the composition order is observable; sorting
+    makes ``FaultSchedule([a, b])`` and ``FaultSchedule([b, a])``
+    bitwise-identical runs.
+
+    Besides the one-shot :meth:`run`, the schedule exposes the
+    per-tick primitives (:meth:`pristine_specs`, :meth:`apply_tick`,
+    :meth:`restore`) so external drivers -- the chaos harness, an
+    :class:`~repro.orchestrator.loop.Orchestrator` loop -- can
+    interleave fault application with their own stepping.
     """
 
     def __init__(self, faults: list):
         self.faults = list(faults)
         known_nodes = {fault.node for fault in self.faults}
+        indexed = list(enumerate(self.faults))
         self._by_node = {
-            node: [fault for fault in self.faults if fault.node == node]
+            node: [
+                fault
+                for _, fault in sorted(
+                    (
+                        (position, fault)
+                        for position, fault in indexed
+                        if fault.node == node
+                    ),
+                    key=lambda pair: (
+                        pair[1].start,
+                        type(pair[1]).__name__,
+                        pair[0],
+                    ),
+                )
+            ]
             for node in known_nodes
         }
+
+    def pristine_specs(self, simulation: ClusterSimulation) -> dict:
+        """Snapshot the undegraded node specs; validates fault targets."""
+        pristine = {
+            name: node.spec for name, node in simulation.nodes.items()
+        }
+        missing = set(self._by_node) - set(pristine)
+        if missing:
+            raise ValueError(f"Faults target unknown nodes: {sorted(missing)}.")
+        return pristine
+
+    def apply_tick(
+        self, simulation: ClusterSimulation, pristine: dict, t: int
+    ) -> None:
+        """Install the composed degraded specs for tick ``t``."""
+        for node_name, faults in self._by_node.items():
+            spec = pristine[node_name]
+            for fault in faults:
+                if fault.active(t):
+                    spec = fault.apply(spec)
+                    obs.inc("faults.active_fault_ticks")
+            simulation.nodes[node_name].spec = spec
+
+    @staticmethod
+    def restore(simulation: ClusterSimulation, pristine: dict) -> None:
+        """Reinstall the pristine specs captured by :meth:`pristine_specs`."""
+        for node_name, spec in pristine.items():
+            simulation.nodes[node_name].spec = spec
 
     def run(
         self, simulation: ClusterSimulation, workloads: dict[str, np.ndarray]
@@ -99,12 +156,7 @@ class FaultSchedule:
         if len(lengths) != 1:
             raise ValueError("All workload series must have equal length.")
         duration = lengths.pop()
-        pristine = {
-            name: node.spec for name, node in simulation.nodes.items()
-        }
-        missing = set(self._by_node) - set(pristine)
-        if missing:
-            raise ValueError(f"Faults target unknown nodes: {sorted(missing)}.")
+        pristine = self.pristine_specs(simulation)
 
         # The tick loop swaps degraded specs in before every step, so a
         # step that raises mid-run (bad arrival value, engine assertion)
@@ -114,19 +166,12 @@ class FaultSchedule:
         try:
             with obs.trace("faults.run"):
                 for t in range(duration):
-                    for node_name, faults in self._by_node.items():
-                        spec = pristine[node_name]
-                        for fault in faults:
-                            if fault.active(t):
-                                spec = fault.apply(spec)
-                                obs.inc("faults.active_fault_ticks")
-                        simulation.nodes[node_name].spec = spec
+                    self.apply_tick(simulation, pristine, t)
                     simulation.step(
                         {app: float(series[t]) for app, series in workloads.items()}
                     )
         finally:
-            for node_name, spec in pristine.items():
-                simulation.nodes[node_name].spec = spec
+            self.restore(simulation, pristine)
         return simulation.result()
 
 
@@ -157,9 +202,14 @@ class MetricDropout:
 
     def __init__(self, agent, probability: float, seed: int = 0):
         """``agent`` is a :class:`repro.telemetry.agent.TelemetryAgent`
-        (kept duck-typed to avoid a cluster->telemetry import cycle)."""
-        if not 0.0 <= probability < 1.0:
-            raise ValueError("probability must be in [0, 1).")
+        (kept duck-typed to avoid a cluster->telemetry import cycle).
+
+        ``probability=1.0`` is permitted and means every reading after
+        the first is lost -- the degenerate total-blackout case the
+        resilience layer must survive.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1].")
         self.agent = agent
         self.probability = probability
         self.seed = seed
@@ -191,5 +241,83 @@ class MetricDropout:
         )
         return stacked[:, 0], stacked[:, 1]
 
+    def host_state(self, node, start, end):
+        return self.agent.host_state(node, start, end)
+
     def container_state(self, container, node, start, end):
         return self.agent.container_state(container, node, start, end)
+
+    def open_stream(self, container, nodes, start=None, history=16):
+        """Streaming counterpart of :meth:`instance_matrix` dropout.
+
+        Wraps the inner agent's :class:`InstanceTelemetryStream` and
+        applies sample-and-hold dropout row by row.  Masks are drawn
+        from the same ``blake2b(seed:container)`` RNG as the batch
+        path, one row per emit, so a stream opened at the container's
+        creation tick reproduces the batch dropout matrix row for row
+        -- bitwise with ``convert_counters=False``; with counter-rate
+        conversion the underlying streams already differ at the first
+        tick (the documented non-causal backfill), and sample-and-hold
+        carries that one divergence along the held counter columns.
+        """
+        inner = self.agent.open_stream(
+            container, nodes, start=start, history=history
+        )
+        return _DropoutInstanceStream(self, inner)
+
+
+class _DropoutInstanceStream:
+    """Per-tick sample-and-hold dropout over an instance stream."""
+
+    def __init__(self, dropout: MetricDropout, inner):
+        self._dropout = dropout
+        self.inner = inner
+        self._rng = np.random.default_rng(
+            _dropout_seed(dropout.seed, inner.container.name)
+        )
+        self._held: np.ndarray | None = None
+
+    @property
+    def container(self):
+        return self.inner.container
+
+    @property
+    def tail(self):
+        return self.inner.tail
+
+    @property
+    def clock(self) -> int:
+        return self.inner.clock
+
+    def emit(self) -> np.ndarray:
+        row = self.inner.emit()
+        probability = self._dropout.probability
+        if probability == 0.0:
+            self._held = row
+            return row
+        # One row of uniforms per emit: numpy fills random((T, k)) in
+        # C order, so consecutive random(k) draws reproduce the batch
+        # path's per-row masks exactly.
+        dropped = self._rng.random(row.shape) < probability
+        if self._held is None:
+            dropped[:] = False  # the first sample always exists
+        if dropped.any():
+            row = row.copy()
+            row[dropped] = self._held[dropped]
+            self.inner.tail.amend_last(
+                row, completeness=1.0 - float(dropped.mean())
+            )
+            if obs.enabled():
+                obs.inc("faults.readings_dropped", float(dropped.sum()))
+        self._held = row  # held values chain, as in the batch path
+        return row
+
+    def skip(self) -> None:
+        # A skipped tick draws no mask: nothing was scraped at all.
+        self.inner.skip()
+
+    def advance_to(self, end: int) -> np.ndarray | None:
+        row = None
+        while self.clock < end:
+            row = self.emit()
+        return row

@@ -287,13 +287,36 @@ class PipelineStream:
             else None
         )
         self.ticks = 0
+        self.imputed_ticks = 0
+        self._last_clean: np.ndarray | None = None
 
-    def push(self, row: np.ndarray) -> np.ndarray:
-        """One raw metric row -> one engineered feature row."""
+    def push(self, row: np.ndarray, imputed: bool = False) -> np.ndarray:
+        """One raw metric row -> one engineered feature row.
+
+        ``imputed=True`` flags a row whose values were partly or fully
+        carried forward by the resilience layer; it is transformed
+        normally but counted in :attr:`imputed_ticks`.  Any NaN entries
+        are masked to the last clean input (0.0 before one exists)
+        *before* the temporal step -- a NaN pushed into the cumulative
+        :class:`~repro.core.features.temporal.TemporalState` would
+        poison every subsequent rolling feature irrecoverably.
+        """
         pipeline = self.pipeline
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
             raise ValueError("push expects a single 1-D metric row.")
+        nan_mask = np.isnan(row)
+        if nan_mask.any():
+            row = row.copy()
+            row[nan_mask] = (
+                0.0 if self._last_clean is None else self._last_clean[nan_mask]
+            )
+            imputed = True
+            obs.inc("pipeline.nan_masked_values", float(nan_mask.sum()))
+        self._last_clean = row
+        if imputed:
+            self.imputed_ticks += 1
+            obs.inc("pipeline.imputed_ticks")
         with obs.trace("pipeline.transform_tick"):
             with obs.trace("pipeline.step.binary"):
                 row = pipeline.binary_.transform_tick(row)

@@ -182,6 +182,33 @@ class Orchestrator:
         del self._extra, self._t, self._baseline
         return result
 
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> dict:
+        """Snapshot the whole mid-run loop state to ``path``.
+
+        Everything needed to resume bitwise -- simulation, policy
+        streams, autoscaler, tick accounting -- is captured; see
+        :mod:`repro.reliability.checkpoint` for the format and its
+        compatibility caveats.  Returns the stored header.
+        """
+        from repro.reliability.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    @staticmethod
+    def resume_from(path) -> "Orchestrator":
+        """Reload an orchestrator checkpointed by :meth:`save_checkpoint`.
+
+        The returned instance continues exactly where the saved one
+        stopped: call :meth:`tick` with the remaining arrivals and
+        :meth:`finish` as usual.
+        """
+        from repro.reliability.checkpoint import load_checkpoint
+
+        return load_checkpoint(path)
+
     def run(self, workloads: dict[str, np.ndarray]) -> OrchestratorResult:
         """Run the full trace; returns provisioning and SLO accounting.
 

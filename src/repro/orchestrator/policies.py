@@ -56,9 +56,19 @@ class _ContainerStream:
         self.last_features: np.ndarray | None = None
 
     def catch_up(self, end: int) -> np.ndarray | None:
-        """Consume every unseen tick up to ``end``; O(new ticks)."""
-        while self.telemetry.clock < end:
-            self.last_features = self.features.push(self.telemetry.emit())
+        """Consume every unseen tick up to ``end``; O(new ticks).
+
+        Rows flagged incomplete by the telemetry layer (imputed or
+        masked readings) are pushed with ``imputed=True`` so the
+        pipeline can account for them; fully observed rows take the
+        identical code path as before.
+        """
+        telemetry = self.telemetry
+        while telemetry.clock < end:
+            row = telemetry.emit()
+            self.last_features = self.features.push(
+                row, imputed=telemetry.tail.last_completeness() < 1.0
+            )
         return self.last_features
 
 
@@ -197,25 +207,37 @@ class ThresholdPolicy:
         self.agent = agent
         self.name = baseline.label()
 
+    def instance_saturated(
+        self, container, simulation: ClusterSimulation
+    ) -> bool:
+        """Threshold verdict for one container's latest recorded tick.
+
+        The per-instance unit of :meth:`saturated_services`, exposed so
+        a fallback chain can consult the threshold baseline for exactly
+        the containers whose primary data path is degraded.  Containers
+        with no recorded ticks yet are never saturated.
+        """
+        end = container.created_at + len(container.history)
+        if end <= container.created_at:
+            return False
+        node = simulation.nodes[container.node]
+        state = self.agent.container_state(container, node, end - 1, end)
+        cpu = state[0, CONTAINER_CHANNELS["cpu_rel_util"]]
+        mem = state[0, CONTAINER_CHANNELS["mem_limit_util"]]
+        return bool(
+            self.baseline.predict_instance(
+                np.asarray([cpu]), np.asarray([mem])
+            )[0]
+        )
+
     def saturated_services(
         self, simulation: ClusterSimulation, application: str, t: int
     ) -> set[str]:
         deployment = simulation.deployments[application]
         saturated: set[str] = set()
-        channels = CONTAINER_CHANNELS
         for service, replicas in deployment.instances.items():
             for instance in replicas:
-                container = instance.container
-                end = container.created_at + len(container.history)
-                if end <= container.created_at:
-                    continue
-                node = simulation.nodes[container.node]
-                state = self.agent.container_state(container, node, end - 1, end)
-                cpu = state[0, channels["cpu_rel_util"]]
-                mem = state[0, channels["mem_limit_util"]]
-                if self.baseline.predict_instance(
-                    np.asarray([cpu]), np.asarray([mem])
-                )[0]:
+                if self.instance_saturated(instance.container, simulation):
                     saturated.add(service)
                     break
         return saturated

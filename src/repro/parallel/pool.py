@@ -95,6 +95,7 @@ def parallel_map(
     n_jobs: int | None = None,
     shared: dict[str, np.ndarray] | None = None,
     chunk_size: int | None = None,
+    on_crash: str = "raise",
 ) -> list:
     """Apply ``func(item, arrays)`` to every item; results in item order.
 
@@ -119,7 +120,18 @@ def parallel_map(
         worker, which amortizes IPC while keeping heterogeneous task
         durations balanced.  Chunking never affects results, only
         scheduling.
+    on_crash:
+        What to do when a *worker dies* (it did not raise -- it was
+        killed, segfaulted, or exited).  ``"raise"`` (the default,
+        historical behavior) raises :class:`WorkerCrashError`;
+        ``"serial"`` re-runs every chunk the broken pool failed to
+        deliver in the parent process, against the caller's original
+        arrays, so the call still returns the complete, deterministic
+        result list.  Exceptions *raised by* ``func`` propagate
+        unchanged in both modes.
     """
+    if on_crash not in ("raise", "serial"):
+        raise ValueError('on_crash must be "raise" or "serial".')
     items = list(items)
     shared = dict(shared or {})
     jobs = min(resolve_n_jobs(n_jobs), len(items)) if items else 1
@@ -170,22 +182,35 @@ def parallel_map(
                 ]
             results: list = []
             try:
-                for future in futures:
-                    if timed:
-                        chunk_results, queue_wait, execute = future.result()
-                        obs.inc("parallel.chunks")
-                        obs.observe("parallel.queue_wait_seconds", queue_wait)
-                        obs.observe("parallel.execute_seconds", execute)
-                        results.extend(chunk_results)
-                    else:
-                        results.extend(future.result())
-            except BrokenProcessPool as error:
-                raise WorkerCrashError(
-                    "A parallel worker died without raising (killed, "
-                    "segfaulted, or exited); the pool has been torn down. "
-                    "Re-run with n_jobs=1 to debug the failing task "
-                    "in-process."
-                ) from error
+                for index, future in enumerate(futures):
+                    try:
+                        if timed:
+                            chunk_results, queue_wait, execute = future.result()
+                            obs.inc("parallel.chunks")
+                            obs.observe(
+                                "parallel.queue_wait_seconds", queue_wait
+                            )
+                            obs.observe("parallel.execute_seconds", execute)
+                        else:
+                            chunk_results = future.result()
+                    except BrokenProcessPool as error:
+                        if on_crash != "serial":
+                            raise WorkerCrashError(
+                                "A parallel worker died without raising "
+                                "(killed, segfaulted, or exited); the pool "
+                                "has been torn down.  Re-run with n_jobs=1 "
+                                "to debug the failing task in-process, or "
+                                'pass on_crash="serial" to fall back.'
+                            ) from error
+                        # Once the pool breaks every undelivered chunk
+                        # lands here; re-run each in the parent against
+                        # the caller's original arrays.  Same items,
+                        # same order -> same results.
+                        obs.inc("parallel.chunks_rescued")
+                        chunk_results = [
+                            func(item, shared) for item in chunks[index]
+                        ]
+                    results.extend(chunk_results)
             finally:
                 for future in futures:
                     future.cancel()

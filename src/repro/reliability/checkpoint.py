@@ -1,0 +1,127 @@
+"""Crash-safe checkpointing of a running closed-loop orchestrator.
+
+A checkpoint is a single self-validating file::
+
+    REPRO-CKPT\\n
+    {json header: format, tick, application, policy, payload sha256}\\n
+    <pickle payload>
+
+The payload is one :mod:`pickle` of the whole
+:class:`~repro.orchestrator.loop.Orchestrator` object graph.  One
+pickle (rather than per-component state dicts) is load-bearing: the
+simulation's containers are *shared* between the cluster state and the
+policy's telemetry streams, and pickling the graph in one pass
+preserves that aliasing exactly.  Everything that makes the loop
+deterministic rides along -- ``TemporalState`` cumulative sums, metric
+ring buffers, ``np.random.Generator`` bit-generator states, counter
+accumulators, fallback health states and the orchestrator's own tick
+accounting -- so a resumed run replays the remaining ticks bitwise
+identically to an uninterrupted one.
+
+Compatibility caveats (also documented in ``docs/api_overview.md``):
+checkpoints are pickles, so they are **not** portable across repo
+versions that change any participating class, and must only be loaded
+from trusted files (pickle executes code by design).  The header's
+sha256 catches truncation and bit rot, not malice.
+
+Writes are atomic: the blob goes to a sibling temp file first and is
+``os.replace``-d into place, so a crash *during* checkpointing can
+never leave a half-written file at the target path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro import obs
+
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
+
+_MAGIC = b"REPRO-CKPT\n"
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+def save_checkpoint(orchestrator, path) -> dict:
+    """Write ``orchestrator`` (mid-run or not) to ``path``; returns the
+    header that was stored."""
+    path = Path(path)
+    with obs.trace("checkpoint.save"):
+        payload = pickle.dumps(orchestrator, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": FORMAT_VERSION,
+            "tick": int(getattr(orchestrator, "_t", -1)),
+            "application": orchestrator.application,
+            "policy": getattr(
+                orchestrator.policy, "name", type(orchestrator.policy).__name__
+            ),
+            "payload_bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        blob = _MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, path)
+    obs.inc("checkpoint.saves")
+    return header
+
+
+def read_header(path) -> dict:
+    """Parse and validate a checkpoint's header without unpickling."""
+    header, _ = _parse(Path(path))
+    return header
+
+
+def load_checkpoint(path):
+    """Restore the orchestrator saved at ``path``.
+
+    Only load checkpoints you wrote yourself: the payload is a pickle.
+    """
+    header, payload = _parse(Path(path))
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["sha256"]:
+        raise CheckpointError(
+            f"Checkpoint payload checksum mismatch in {path} "
+            f"(expected {header['sha256'][:12]}..., got {digest[:12]}...)."
+        )
+    with obs.trace("checkpoint.load"):
+        orchestrator = pickle.loads(payload)
+    obs.inc("checkpoint.loads")
+    return orchestrator
+
+
+def _parse(path: Path) -> tuple[dict, bytes]:
+    try:
+        blob = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"Cannot read checkpoint {path}: {error}") from error
+    if not blob.startswith(_MAGIC):
+        raise CheckpointError(f"{path} is not a repro checkpoint (bad magic).")
+    body = blob[len(_MAGIC):]
+    newline = body.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{path} is truncated (no header).")
+    try:
+        header = json.loads(body[:newline].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"{path} has a corrupt header.") from error
+    if header.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint format {header.get('format')!r}; "
+            f"this build reads format {FORMAT_VERSION}."
+        )
+    payload = body[newline + 1:]
+    if len(payload) != header.get("payload_bytes"):
+        raise CheckpointError(
+            f"{path} is truncated: header promises "
+            f"{header.get('payload_bytes')} payload bytes, found "
+            f"{len(payload)}."
+        )
+    return header, payload

@@ -1,0 +1,229 @@
+"""The policy fallback chain: monitorless -> thresholds -> fail-safe.
+
+:class:`FallbackPolicy` runs a streaming
+:class:`~repro.orchestrator.policies.MonitorlessPolicy` as the primary
+detector and demotes *per container* when that container's data path
+degrades:
+
+1. **primary** -- the container's resilient telemetry stream delivered
+   (possibly imputed) features and the classifier produced a verdict;
+2. **secondary** -- the stream raised
+   :class:`~repro.reliability.telemetry.TelemetryFault` (staleness
+   budget exhausted, injected failure) or the classifier raised: the
+   container is judged by
+   :meth:`~repro.orchestrator.policies.ThresholdPolicy.instance_saturated`
+   instead;
+3. **fail-safe** -- the threshold read failed too.  ``failsafe="hold"``
+   keeps the current replica count (never scale on no data);
+   ``failsafe="scale-up"`` reports the service saturated (provision
+   for the worst).
+
+Each container walks a health state machine ``healthy -> degraded ->
+failsafe -> recovering -> healthy``; ``recovering`` requires
+``recovery_ticks`` consecutive primary successes before the container
+counts as healthy again.  Transitions are exported as ``obs`` counters
+(``fallback.demotions`` / ``fallback.recoveries`` /
+``fallback.failsafe_entries``) and per-state gauges, and mirrored on
+the policy object (:attr:`demotions`, :attr:`recoveries`,
+:attr:`failsafe_entries`, :attr:`health`) for obs-disabled callers.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.reliability.telemetry import TelemetryFault
+
+__all__ = [
+    "FallbackPolicy",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILSAFE",
+    "RECOVERING",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILSAFE = "failsafe"
+RECOVERING = "recovering"
+
+_STATES = (HEALTHY, DEGRADED, FAILSAFE, RECOVERING)
+
+
+class FallbackPolicy:
+    """Degradation-tolerant saturation policy (see module docstring).
+
+    Parameters
+    ----------
+    primary:
+        A ``MonitorlessPolicy`` with ``streaming=True`` (the fallback
+        chain tracks per-container stream health, which only exists on
+        the streaming path), normally built over a
+        :class:`~repro.reliability.telemetry.ResilientTelemetry` agent.
+    secondary:
+        A ``ThresholdPolicy`` used per-container while demoted.
+    staleness_budget:
+        Optional *tighter* bound than the telemetry layer's own budget:
+        a container whose stream reports more than this many
+        consecutive imputed ticks is demoted even though its stream is
+        still serving rows.  ``None`` (default) trusts the telemetry
+        layer to raise when its budget runs out.
+    failsafe:
+        ``"hold"`` or ``"scale-up"`` -- the verdict when primary *and*
+        secondary are unavailable.
+    recovery_ticks:
+        Consecutive primary successes required to leave ``recovering``.
+    """
+
+    name = "fallback"
+
+    def __init__(
+        self,
+        primary,
+        secondary,
+        *,
+        staleness_budget: int | None = None,
+        failsafe: str = "hold",
+        recovery_ticks: int = 3,
+    ):
+        if not getattr(primary, "streaming", False):
+            raise ValueError(
+                "FallbackPolicy requires a streaming MonitorlessPolicy "
+                "(streaming=True)."
+            )
+        if failsafe not in ("hold", "scale-up"):
+            raise ValueError('failsafe must be "hold" or "scale-up".')
+        if recovery_ticks < 1:
+            raise ValueError("recovery_ticks must be >= 1.")
+        if staleness_budget is not None and staleness_budget < 0:
+            raise ValueError("staleness_budget must be >= 0.")
+        self.primary = primary
+        self.secondary = secondary
+        self.staleness_budget = staleness_budget
+        self.failsafe = failsafe
+        self.recovery_ticks = recovery_ticks
+        self.health: dict[str, str] = {}
+        self.demotions = 0
+        self.recoveries = 0
+        self.failsafe_entries = 0
+        self.failsafe_ticks = 0
+        self._streak: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Health bookkeeping
+    # ------------------------------------------------------------------
+    def _record_outcome(self, name: str, outcome: str) -> None:
+        state = self.health.get(name, HEALTHY)
+        if outcome == "primary":
+            if state == HEALTHY:
+                new = HEALTHY
+            else:
+                streak = self._streak.get(name, 0) + 1 if state == RECOVERING else 1
+                if streak >= self.recovery_ticks:
+                    new = HEALTHY
+                    self.recoveries += 1
+                    obs.inc("fallback.recoveries")
+                    self._streak.pop(name, None)
+                else:
+                    new = RECOVERING
+                    self._streak[name] = streak
+        elif outcome == "secondary":
+            if state in (HEALTHY, RECOVERING):
+                self.demotions += 1
+                obs.inc("fallback.demotions")
+            new = DEGRADED
+            self._streak.pop(name, None)
+        else:  # fail-safe
+            if state != FAILSAFE:
+                self.failsafe_entries += 1
+                obs.inc("fallback.failsafe_entries")
+            self.failsafe_ticks += 1
+            obs.inc("fallback.failsafe_ticks")
+            new = FAILSAFE
+            self._streak.pop(name, None)
+        self.health[name] = new
+
+    def _export_gauges(self) -> None:
+        if not obs.enabled():
+            return
+        counts = dict.fromkeys(_STATES, 0)
+        for state in self.health.values():
+            counts[state] += 1
+        for state, count in counts.items():
+            obs.set_gauge(f"fallback.containers_{state}", float(count))
+
+    # ------------------------------------------------------------------
+    # The per-tick verdict
+    # ------------------------------------------------------------------
+    def saturated_services(self, simulation, application: str, t: int):
+        with obs.trace("policy.fallback"):
+            deployment = simulation.deployments[application]
+            live: set[str] = set()
+            # (service, container, features) for containers whose
+            # primary data path delivered this tick.
+            primary_items: list = []
+            demoted: list = []  # (service, container)
+            for service, replicas in deployment.instances.items():
+                for instance in replicas:
+                    container = instance.container
+                    live.add(container.name)
+                    end = container.created_at + len(container.history)
+                    if end <= container.created_at:
+                        continue  # no samples yet
+                    stream = self.primary._stream_for(container, simulation)
+                    try:
+                        features = stream.catch_up(end)
+                    except TelemetryFault:
+                        demoted.append((service, container))
+                        continue
+                    if features is None:
+                        continue
+                    staleness = getattr(stream.telemetry, "staleness", 0)
+                    if (
+                        self.staleness_budget is not None
+                        and staleness > self.staleness_budget
+                    ):
+                        demoted.append((service, container))
+                        continue
+                    primary_items.append((service, container, features))
+
+            # Retired replicas (scale-in) never come back; drop state.
+            for name in [n for n in self.primary._streams if n not in live]:
+                del self.primary._streams[name]
+            for name in [n for n in self.health if n not in live]:
+                del self.health[name]
+                self._streak.pop(name, None)
+
+            try:
+                saturated = self.primary._classify(
+                    [service for service, _, _ in primary_items],
+                    [features for _, _, features in primary_items],
+                )
+            except Exception:
+                # The classifier itself failed: every primary candidate
+                # falls through to the secondary this tick.
+                obs.inc("fallback.classifier_errors")
+                saturated = set()
+                demoted.extend(
+                    (service, container)
+                    for service, container, _ in primary_items
+                )
+            else:
+                for service, container, _ in primary_items:
+                    self._record_outcome(container.name, "primary")
+
+            for service, container in demoted:
+                try:
+                    verdict = self.secondary.instance_saturated(
+                        container, simulation
+                    )
+                except Exception:
+                    self._record_outcome(container.name, "failsafe")
+                    if self.failsafe == "scale-up":
+                        saturated.add(service)
+                else:
+                    self._record_outcome(container.name, "secondary")
+                    if verdict:
+                        saturated.add(service)
+
+            self._export_gauges()
+        return saturated

@@ -15,7 +15,30 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MetricFrame", "MetricStream"]
+__all__ = ["MetricFrame", "MetricStream", "UnknownMetricError"]
+
+
+class UnknownMetricError(KeyError):
+    """A metric name was requested that the frame does not carry.
+
+    Subclasses :class:`KeyError` so historical ``except KeyError``
+    handlers keep working, but the message names the missing streams
+    and samples what *is* available instead of echoing one bare key.
+    """
+
+    def __init__(self, missing: list[str], available: list[str]):
+        self.missing = list(missing)
+        self.available = list(available)
+        preview = ", ".join(sorted(available)[:8])
+        if len(available) > 8:
+            preview += f", ... ({len(available)} total)"
+        super().__init__(
+            f"Unknown metric stream(s) {sorted(missing)}; "
+            f"available: [{preview}]."
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return self.args[0]
 
 
 class MetricFrame:
@@ -42,16 +65,36 @@ class MetricFrame:
     def shape(self) -> tuple[int, int]:
         return self.values.shape
 
+    def has_metric(self, name: str) -> bool:
+        """Whether a metric stream of that name is carried."""
+        return name in self._index
+
     def column(self, name: str) -> np.ndarray:
         """One column as a 1-D array (a view)."""
         if name not in self._index:
-            raise KeyError(f"No column {name!r}.")
+            raise UnknownMetricError([name], self.columns)
         return self.values[:, self._index[name]]
 
     def select(self, names: list[str]) -> "MetricFrame":
         """A new frame with only ``names``, in the given order."""
-        indices = [self._index[n] for n in names]  # KeyError on missing
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            raise UnknownMetricError(missing, self.columns)
+        indices = [self._index[n] for n in names]
         return MetricFrame(self.values[:, indices].copy(), list(names))
+
+    def select_available(self, names: list[str]) -> "MetricFrame":
+        """Like :meth:`select`, but silently skips unknown names.
+
+        The safe-subset accessor for degraded-mode consumers: a report
+        that wants ``["cpu_rel_util", "mem_limit_util"]`` from whatever
+        survived a lossy collector should summarise the columns that
+        exist rather than die on the ones that do not.  Selecting zero
+        known names returns an empty ``(T, 0)`` frame.
+        """
+        known = [n for n in names if n in self._index]
+        indices = [self._index[n] for n in known]
+        return MetricFrame(self.values[:, indices].copy(), known)
 
     def hstack(self, other: "MetricFrame") -> "MetricFrame":
         """Concatenate columns of two time-aligned frames."""
@@ -87,6 +130,12 @@ class MetricStream:
     :meth:`frame` wraps it as a :class:`MetricFrame` for batch-style
     consumers.  Memory is O(capacity x columns) regardless of run
     length.
+
+    Each row carries a *completeness* fraction in [0, 1]: 1.0 for a
+    fully observed reading (the default, so historical producers are
+    unchanged), lower when some or all of the row was imputed by the
+    resilience layer.  Consumers that must distinguish real from
+    carried-forward data read :meth:`completeness_window`.
     """
 
     def __init__(self, columns: list[str], capacity: int):
@@ -97,6 +146,7 @@ class MetricStream:
         self.columns = list(columns)
         self.capacity = capacity
         self._buffer = np.zeros((capacity, len(columns)))
+        self._completeness = np.ones(capacity)
         self._total = 0  # rows ever pushed
 
     def __len__(self) -> int:
@@ -108,7 +158,11 @@ class MetricStream:
         """Rows ever pushed, including rows already evicted."""
         return self._total
 
-    def push(self, row: np.ndarray) -> None:
+    def has_metric(self, name: str) -> bool:
+        """Whether a metric stream of that name is carried."""
+        return name in self.columns
+
+    def push(self, row: np.ndarray, completeness: float = 1.0) -> None:
         """Append one row, evicting the oldest once at capacity."""
         row = np.asarray(row, dtype=np.float64)
         if row.shape != (len(self.columns),):
@@ -116,14 +170,49 @@ class MetricStream:
                 f"Expected a row of {len(self.columns)} values, "
                 f"got shape {row.shape}."
             )
-        self._buffer[self._total % self.capacity] = row
+        if not 0.0 <= completeness <= 1.0:
+            raise ValueError("completeness must be in [0, 1].")
+        slot = self._total % self.capacity
+        self._buffer[slot] = row
+        self._completeness[slot] = completeness
         self._total += 1
+
+    def amend_last(
+        self, row: np.ndarray, completeness: float | None = None
+    ) -> None:
+        """Replace the most recent row in place (same tick, new values).
+
+        Used by wrappers that post-process a just-emitted reading --
+        dropout substitution, NaN masking, imputation -- without
+        advancing the stream clock.  ``completeness`` updates the row's
+        flag when given, otherwise the existing flag is kept.
+        """
+        if self._total == 0:
+            raise ValueError("Stream is empty; nothing to amend.")
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (len(self.columns),):
+            raise ValueError(
+                f"Expected a row of {len(self.columns)} values, "
+                f"got shape {row.shape}."
+            )
+        slot = (self._total - 1) % self.capacity
+        self._buffer[slot] = row
+        if completeness is not None:
+            if not 0.0 <= completeness <= 1.0:
+                raise ValueError("completeness must be in [0, 1].")
+            self._completeness[slot] = completeness
 
     def last(self) -> np.ndarray:
         """The most recent row (a copy)."""
         if self._total == 0:
             raise ValueError("Stream is empty.")
         return self._buffer[(self._total - 1) % self.capacity].copy()
+
+    def last_completeness(self) -> float:
+        """Completeness flag of the most recent row."""
+        if self._total == 0:
+            raise ValueError("Stream is empty.")
+        return float(self._completeness[(self._total - 1) % self.capacity])
 
     def window(self, n: int | None = None) -> np.ndarray:
         """The last ``n`` retained rows, oldest first (a copy).
@@ -144,6 +233,23 @@ class MetricStream:
         if n < self.capacity and start < end:
             return self._buffer[start:end].copy()
         return np.vstack([self._buffer[start:], self._buffer[:end]])
+
+    def completeness_window(self, n: int | None = None) -> np.ndarray:
+        """Per-row completeness flags aligned with :meth:`window`."""
+        held = len(self)
+        if n is None:
+            n = held
+        if n < 0 or n > held:
+            raise ValueError(f"window of {n} rows requested; {held} retained.")
+        if n == 0:
+            return np.empty(0)
+        end = self._total % self.capacity
+        start = (self._total - n) % self.capacity
+        if n < self.capacity and start < end:
+            return self._completeness[start:end].copy()
+        return np.concatenate(
+            [self._completeness[start:], self._completeness[:end]]
+        )
 
     def frame(self, n: int | None = None) -> MetricFrame:
         """The retained tail as a :class:`MetricFrame`."""

@@ -164,6 +164,20 @@ class InstanceTelemetryStream:
         self._next = t + 1
         return row
 
+    def skip(self) -> None:
+        """Advance past the next tick without synthesizing it.
+
+        Models a missed scrape: the reading for this tick is lost
+        forever and the stream clock moves on, so later ticks can still
+        be consumed in order.  No RNG draw, counter accumulation or
+        rate state is touched -- the skipped tick's counter increments
+        simply never happened, exactly as when a real collector misses
+        a scrape of a per-interval accumulator.  Given the same skip
+        pattern the subsequent rows are fully deterministic.
+        """
+        self._next += 1
+        obs.inc("telemetry.rows_skipped")
+
     def advance_to(self, end: int) -> np.ndarray | None:
         """Emit every tick up to (excluding) ``end``; returns the last
         row emitted, or ``None`` if already caught up."""

@@ -134,6 +134,30 @@ class TestObsCommand:
         assert not obs.enabled()
         obs.reset()
 
+    def test_chaos_with_saved_model(self, tiny_model, tmp_path):
+        import json
+
+        model_path = tmp_path / "model.pkl"
+        tiny_model.save(model_path)
+        report_path = tmp_path / "chaos.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "chaos",
+                "--model", str(model_path),
+                "--duration", "60",
+                "--report", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "SLO violations (chaos)" in text
+        assert "within bound" in text
+        report = json.loads(report_path.read_text())
+        assert report["duration"] == 60
+        assert report["within_bound"] is True
+
     def test_obs_prom_only(self):
         from repro import obs
 

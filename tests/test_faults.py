@@ -162,7 +162,19 @@ class TestMetricDropout:
 
     def test_invalid_probability(self):
         with pytest.raises(ValueError):
-            MetricDropout(TelemetryAgent(seed=0), probability=1.0)
+            MetricDropout(TelemetryAgent(seed=0), probability=1.5)
+        with pytest.raises(ValueError):
+            MetricDropout(TelemetryAgent(seed=0), probability=-0.1)
+
+    def test_total_dropout_freezes_after_first_row(self):
+        """probability=1.0 is the degenerate blackout: every reading
+        after the first repeats row 0."""
+        result = self._run()
+        wrapped = MetricDropout(TelemetryAgent(seed=0), probability=1.0, seed=3)
+        matrix = wrapped.instance_matrix(result.containers[0], result.nodes)
+        assert np.array_equal(
+            matrix, np.tile(matrix[0], (matrix.shape[0], 1))
+        )
 
     def test_dropout_identical_across_hashseed_values(self, tmp_path):
         """Dropout masks must be bitwise identical in processes with

@@ -45,6 +45,16 @@ def _exit_task(item, arrays):
     os._exit(3)
 
 
+def _exit_in_worker_task(item, arrays):
+    # Dies only inside a pool worker; the serial-rescue re-run in the
+    # parent computes the real result.
+    from repro.parallel import in_worker
+
+    if in_worker():
+        os._exit(3)
+    return float(arrays["X"].sum()) * item
+
+
 def _write_task(item, arrays):
     arrays["X"][0] = item
 
@@ -148,6 +158,29 @@ class TestParallelMap:
     def test_worker_death_raises_instead_of_hanging(self):
         with pytest.raises(WorkerCrashError, match="died"):
             parallel_map(_exit_task, [1, 2, 3], n_jobs=JOBS)
+
+    def test_crashed_chunks_rescued_serially(self):
+        """``on_crash="serial"`` re-runs every chunk lost to a worker
+        death in the parent process instead of raising."""
+        shared = {"X": np.ones((3, 2))}
+        items = list(range(6))
+        results = parallel_map(
+            _exit_in_worker_task, items, n_jobs=JOBS, shared=shared,
+            on_crash="serial",
+        )
+        assert results == [6.0 * item for item in items]
+
+    def test_on_crash_serial_still_propagates_task_errors(self):
+        # The rescue covers worker *deaths*; an exception the task
+        # itself raises is a bug and must propagate either way.
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(
+                _boom_task, [1, 2, 3], n_jobs=JOBS, on_crash="serial"
+            )
+
+    def test_invalid_on_crash_rejected(self):
+        with pytest.raises(ValueError, match="on_crash"):
+            parallel_map(_scaled_sum_task, [1], n_jobs=1, on_crash="retry")
 
     def test_shared_arrays_are_read_only_in_workers(self):
         with pytest.raises(ValueError, match="read-only"):

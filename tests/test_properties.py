@@ -165,7 +165,14 @@ class TestRateProperties:
         counters = np.cumsum(increments, axis=0)
         mask = np.ones(increments.shape[1], dtype=bool)
         rates = counters_to_rates(counters, mask)
-        assert np.allclose(rates[1:], increments[1:], rtol=1e-9, atol=1e-9)
+        # Differencing a cumsum loses ~eps * max(|counter|) to rounding
+        # (mixing 1e-4 and 1e6 increments makes this exceed a bare
+        # 1e-9), so the absolute tolerance must scale with the counter
+        # magnitude the subtraction actually operated on.
+        atol = 1e-9 + 100 * np.finfo(np.float64).eps * float(
+            np.max(np.abs(counters), initial=0.0)
+        )
+        assert np.allclose(rates[1:], increments[1:], rtol=1e-9, atol=atol)
 
     @given(
         arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(1, 3)),
