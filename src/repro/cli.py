@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the common workflows:
+Ten subcommands cover the common workflows:
 
 - ``inventory``  -- print the Table-1 training-run inventory;
 - ``dataset``    -- generate the training corpus (optionally save it);
@@ -14,7 +14,12 @@ Eight subcommands cover the common workflows:
 - ``stream``     -- drive the closed autoscaling loop tick by tick on
   the streaming (incremental) data path and report throughput;
 - ``obs``        -- run a short instrumented closed loop and export the
-  runtime's own metrics (JSON / Prometheus text) and span tree.
+  runtime's own metrics (JSON / Prometheus text) and span tree;
+- ``chaos``      -- run the seeded chaos harness (dropout, failures,
+  blackouts, node faults) against a clean run and report deltas;
+- ``fleet``      -- drive many application cells through the vectorized
+  fleet serving path (one matrix per tick, sharded over workers) and
+  report tick throughput.
 
 The generation/training paths accept ``--jobs N`` (``-1`` = all cores)
 to fan session simulation, tree fitting and grid-search evaluation out
@@ -33,6 +38,8 @@ Examples::
     python -m repro explain --model model.pkl --duration 150
     python -m repro stream --model model.pkl --duration 600 --trace
     python -m repro obs --duration 120 --format prom
+    python -m repro chaos --duration 240 --dropout 0.15
+    python -m repro fleet --model model.pkl --cells 32 --ticks 120 --jobs -1
 """
 
 from __future__ import annotations
@@ -202,6 +209,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report", default=None,
                        help="write the full ChaosReport as JSON here")
     chaos.add_argument("--seed", type=int, default=0)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run the vectorized fleet loop: many application cells as "
+             "one (containers x features) matrix per tick, sharded over "
+             "worker processes",
+    )
+    fleet.add_argument("--model", default=None,
+                       help="optional saved model (default: train a small "
+                            "6-run, 15-tree model first)")
+    fleet.add_argument("--cells", type=int, default=8,
+                       help="application cells in the fleet (default 8; "
+                            "7 containers each)")
+    fleet.add_argument("--ticks", type=int, default=60,
+                       help="fleet seconds to drive (default 60)")
+    fleet.add_argument("--kind",
+                       choices=("teastore", "teastore-dropout",
+                                "teastore-chaos"),
+                       default="teastore",
+                       help="cell recipe (default teastore; -chaos adds "
+                            "the full fault stack + threshold fallback)")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="shards over the cell axis (default: one per "
+                            "worker)")
+    fleet.add_argument("--checkpoint-dir", default=None,
+                       help="per-shard checkpoint directory (enables "
+                            "crash rescue / resume)")
+    fleet.add_argument("--checkpoint-interval", type=int, default=25,
+                       help="ticks between per-shard checkpoints "
+                            "(default 25)")
+    fleet.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(fleet)
     return parser
 
 
@@ -577,6 +616,75 @@ def _cmd_chaos(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    import time
+
+    from repro.fleet.orchestrator import (
+        FleetOrchestrator,
+        default_fleet_workloads,
+        make_fleet_specs,
+    )
+
+    if args.model:
+        from repro.core.model import MonitorlessModel
+
+        model = MonitorlessModel.load(args.model)
+    else:
+        print("No --model given; training a small 6-run model...", file=out)
+        from repro.core.model import MonitorlessModel
+        from repro.datasets.configs import run_by_id
+        from repro.datasets.generate import build_training_corpus
+
+        runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+        corpus = build_training_corpus(
+            duration=80, calibration_duration=100, seed=3, runs=runs
+        )
+        model = MonitorlessModel(
+            classifier_params={"n_estimators": 15}, random_state=args.seed
+        )
+        model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+
+    specs = make_fleet_specs(args.cells, base_seed=args.seed, kind=args.kind)
+    workloads = default_fleet_workloads(args.cells, args.ticks, seed=args.seed)
+    orchestrator = FleetOrchestrator(
+        specs, model,
+        n_shards=args.shards,
+        n_jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    n_containers = 7 * args.cells
+    print(
+        f"Driving {args.cells} {args.kind} cells ({n_containers} containers)"
+        f" for {args.ticks} ticks over {orchestrator.n_shards} shard(s)...",
+        file=out,
+    )
+    started = time.perf_counter()
+    result = orchestrator.run(workloads)
+    elapsed = time.perf_counter() - started
+    decisions = sum(len(d) for d in result.decisions)
+    violations = sum(
+        float(cell.violations.sum()) for cell in result.cells.values()
+    )
+    print(
+        f"  {decisions} saturation decisions, {result.total_scale_outs} "
+        f"scale-outs, {violations:.0f} SLO violation-ticks",
+        file=out,
+    )
+    if result.counters["demotions"] or result.counters["failsafe_ticks"]:
+        counters = "  ".join(
+            f"{key}={value}" for key, value in result.counters.items()
+        )
+        print(f"  fallback: {counters}", file=out)
+    print(
+        f"{args.ticks / elapsed:.1f} ticks/s "
+        f"({n_containers * args.ticks / elapsed:,.0f} container-ticks/s, "
+        f"{elapsed:.2f}s wall)",
+        file=out,
+    )
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "dataset": _cmd_dataset,
@@ -587,6 +695,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -1,0 +1,515 @@
+"""The fleet closed loop: many application cells, sharded over workers.
+
+A *fleet* is a set of independent application cells -- each one a full
+:class:`~repro.cluster.simulation.ClusterSimulation` with its deployed
+application, telemetry agent, scaling rules and workload column.  A
+*shard* is a contiguous block of cells driven by one
+:class:`FleetShardRunner`: per tick it steps every cell's simulation,
+asks its shard-wide :class:`~repro.fleet.policy.FleetPolicy` for
+saturated ``(namespace, deployment)`` keys (one matrix walk, one
+``predict_proba``), and lets each cell's autoscaler act.
+
+:class:`FleetOrchestrator` fans the shards out over
+:func:`~repro.parallel.pool.parallel_map` workers.  Cells are
+data-independent and seeded by stable cell keys, so results are
+deterministic at every ``n_jobs`` (PR 2's contract); the workload
+matrix travels once through shared memory.  Each shard checkpoints its
+whole runner (``REPRO-CKPT`` format) every ``checkpoint_interval``
+ticks; with ``on_crash="serial"`` a shard whose worker dies mid-run is
+resumed *from its checkpoint* in the parent and the fleet result is
+still complete and bitwise deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fleet.policy import FleetPolicy
+from repro.orchestrator.loop import OrchestratorResult
+from repro.orchestrator.slo import SloPolicy, slo_violations
+from repro.parallel.jobs import in_worker, resolve_n_jobs
+from repro.parallel.pool import parallel_map
+from repro.telemetry.agent import TelemetryAgent, _stream_seed
+
+__all__ = [
+    "FleetCellSpec",
+    "FleetCell",
+    "FleetShardRunner",
+    "FleetShardResult",
+    "FleetOrchestrator",
+    "FleetResult",
+    "build_cell",
+    "make_fleet_specs",
+    "default_fleet_workloads",
+    "CELL_BUILDERS",
+]
+
+
+@dataclass(frozen=True)
+class FleetCellSpec:
+    """Deterministic recipe for one cell; picklable and tiny."""
+
+    namespace: str
+    seed: int = 0
+    kind: str = "teastore"
+
+
+@dataclass
+class FleetCell:
+    """One built cell: simulation, telemetry, scaling mechanics."""
+
+    namespace: str
+    simulation: object
+    application: str
+    agent: object
+    autoscaler: object
+    secondary: object = None
+
+
+def _teastore_rules():
+    from repro.cluster.simulation import Placement
+    from repro.orchestrator.autoscaler import ScalingRules
+
+    gib4 = 4 * 2**30
+    return ScalingRules(
+        placements={
+            "auth": Placement(node="M2", cpu_limit=2.0, memory_limit=gib4),
+            "recommender": Placement(
+                node="M2", cpu_limit=1.0, memory_limit=gib4
+            ),
+            "webui": Placement(node="M2", cpu_limit=1.0, memory_limit=gib4),
+        },
+        replica_lifespan=120,
+        scale_groups=(("auth", "recommender"),),
+    )
+
+
+def _teastore_simulation(spec: FleetCellSpec):
+    from repro.apps.teastore import teastore_application
+    from repro.cluster.simulation import ClusterSimulation
+    from repro.datasets.experiments import evaluation_nodes, teastore_placements
+
+    simulation = ClusterSimulation(evaluation_nodes(), seed=spec.seed)
+    simulation.deploy(teastore_application(), teastore_placements())
+    return simulation
+
+
+def _build_teastore_cell(spec: FleetCellSpec) -> FleetCell:
+    """Plain cell: exact-type agent, grouped fast-path telemetry."""
+    from repro.orchestrator.autoscaler import Autoscaler
+
+    simulation = _teastore_simulation(spec)
+    return FleetCell(
+        namespace=spec.namespace,
+        simulation=simulation,
+        application="teastore",
+        agent=TelemetryAgent(seed=spec.seed),
+        autoscaler=Autoscaler(
+            simulation=simulation, application="teastore",
+            rules=_teastore_rules(),
+        ),
+    )
+
+
+def _build_dropout_cell(spec: FleetCellSpec) -> FleetCell:
+    """Lossy-scrape cell: ``MetricDropout`` over the plain agent."""
+    from repro.cluster.faults import MetricDropout
+    from repro.orchestrator.autoscaler import Autoscaler
+
+    simulation = _teastore_simulation(spec)
+    agent = MetricDropout(
+        TelemetryAgent(seed=spec.seed), probability=0.1, seed=spec.seed + 1
+    )
+    return FleetCell(
+        namespace=spec.namespace,
+        simulation=simulation,
+        application="teastore",
+        agent=agent,
+        autoscaler=Autoscaler(
+            simulation=simulation, application="teastore",
+            rules=_teastore_rules(),
+        ),
+    )
+
+
+def _build_chaos_cell(spec: FleetCellSpec) -> FleetCell:
+    """Full chaos stack with a threshold secondary, mirroring the
+    reliability tests' fallback configuration."""
+    from repro.cluster.faults import MetricDropout
+    from repro.core.thresholds import ThresholdBaseline
+    from repro.orchestrator.autoscaler import Autoscaler
+    from repro.orchestrator.policies import ThresholdPolicy
+    from repro.reliability.chaos import ChaosAgent, ChaosConfig, TelemetryBlackout
+    from repro.reliability.telemetry import ResilientTelemetry
+
+    simulation = _teastore_simulation(spec)
+    config = ChaosConfig(
+        dropout_probability=0.1,
+        hard_failure_probability=0.02,
+        transient_failure_probability=0.03,
+        nan_probability=0.02,
+        state_failure_probability=0.0,
+        blackouts=(TelemetryBlackout(20, 28, scope="stream"),),
+        node_faults=(),
+        staleness_budget=3,
+    )
+    chaotic = ChaosAgent(
+        MetricDropout(
+            TelemetryAgent(seed=spec.seed), probability=0.1,
+            seed=spec.seed + 1,
+        ),
+        config,
+    )
+    resilient = ResilientTelemetry(chaotic, staleness_budget=3)
+    secondary = ThresholdPolicy(
+        ThresholdBaseline(
+            kind="cpu-or-mem", cpu_threshold=80.0, mem_threshold=80.0
+        ),
+        chaotic,
+    )
+    return FleetCell(
+        namespace=spec.namespace,
+        simulation=simulation,
+        application="teastore",
+        agent=resilient,
+        autoscaler=Autoscaler(
+            simulation=simulation, application="teastore",
+            rules=_teastore_rules(),
+        ),
+        secondary=secondary,
+    )
+
+
+CELL_BUILDERS = {
+    "teastore": _build_teastore_cell,
+    "teastore-dropout": _build_dropout_cell,
+    "teastore-chaos": _build_chaos_cell,
+}
+
+
+def build_cell(spec: FleetCellSpec) -> FleetCell:
+    try:
+        builder = CELL_BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"Unknown cell kind {spec.kind!r}; "
+            f"known: {sorted(CELL_BUILDERS)}."
+        ) from None
+    return builder(spec)
+
+
+def make_fleet_specs(
+    n_cells: int, base_seed: int = 0, kind: str = "teastore",
+    prefix: str = "cell",
+) -> list[FleetCellSpec]:
+    """Specs with stable per-cell seeds derived from the cell key."""
+    return [
+        FleetCellSpec(
+            namespace=f"{prefix}-{index:04d}",
+            seed=_stream_seed(base_seed, f"fleet-cell:{prefix}-{index:04d}")
+            % 2**31,
+            kind=kind,
+        )
+        for index in range(n_cells)
+    ]
+
+
+def default_fleet_workloads(
+    n_cells: int, duration: int, seed: int = 0,
+    low: float = 10.0, high: float = 260.0,
+) -> np.ndarray:
+    """A ``(n_cells, duration)`` arrival matrix: per-cell scaled ramps."""
+    from repro.workloads.patterns import linear_ramp
+
+    base = linear_ramp(duration, low, high)
+    rng = np.random.default_rng(_stream_seed(seed, "fleet-workloads"))
+    scales = rng.uniform(0.7, 1.3, n_cells)
+    return np.ascontiguousarray(scales[:, None] * base[None, :])
+
+
+# ---------------------------------------------------------------------------
+# Shard runner
+# ---------------------------------------------------------------------------
+@dataclass
+class FleetShardResult:
+    shard_index: int
+    decisions: list  # per tick: sorted tuple of (namespace, deployment)
+    cells: dict[str, OrchestratorResult]
+    health: dict
+    counters: dict[str, int]
+    #: Tick the shard was resumed from after a worker loss (None when
+    #: the shard ran start-to-finish in one process).
+    resumed_from_tick: int | None = None
+
+
+class FleetShardRunner:
+    """Closed loop over one shard's cells with a shared fleet policy.
+
+    Exposes ``application`` / ``policy`` / ``_t`` so
+    :func:`repro.reliability.checkpoint.save_checkpoint` can snapshot
+    it exactly like a per-container :class:`Orchestrator`.
+    """
+
+    def __init__(self, shard_index: int, specs, model, *,
+                 policy_options: dict | None = None,
+                 slo: SloPolicy | None = None):
+        self.shard_index = shard_index
+        self.application = f"fleet-shard-{shard_index}"
+        self.specs = list(specs)
+        self.cells = [build_cell(spec) for spec in self.specs]
+        self.policy = FleetPolicy(model, **dict(policy_options or {}))
+        for cell in self.cells:
+            self.policy.add_cell(
+                cell.namespace, cell.simulation, cell.application,
+                cell.agent, secondary=cell.secondary,
+            )
+        self.slo = slo or SloPolicy()
+        self.checkpoints_saved = 0
+        self.resumed_from_tick: int | None = None
+
+    def start(self) -> None:
+        self._baselines = [
+            sum(cell.simulation.replica_counts(cell.application).values())
+            for cell in self.cells
+        ]
+        self._extra: list[list[int]] = [[] for _ in self.cells]
+        self._t = 0
+        self.decisions: list[tuple] = []
+
+    def tick(self, rates) -> None:
+        """One fleet second: step all cells, decide once, scale each."""
+        for cell, rate in zip(self.cells, rates):
+            cell.simulation.step({cell.application: float(rate)})
+        saturated = self.policy.saturated_services(self._t)
+        for index, cell in enumerate(self.cells):
+            cell_saturated = {
+                service for namespace, service in saturated
+                if namespace == cell.namespace
+            }
+            cell.autoscaler.act(cell_saturated, self._t)
+            self._extra[index].append(cell.autoscaler.extra_replicas)
+        self.decisions.append(tuple(sorted(saturated)))
+        self._t += 1
+
+    def finish(self) -> FleetShardResult:
+        duration = self._t
+        cells: dict[str, OrchestratorResult] = {}
+        for index, cell in enumerate(self.cells):
+            kpis = cell.simulation._kpis[cell.application]
+            response_time = np.asarray(kpis["response_time"][-duration:])
+            offered = np.asarray(kpis["offered"][-duration:])
+            dropped = np.asarray(kpis["dropped"][-duration:])
+            throughput = np.asarray(kpis["throughput"][-duration:])
+            cells[cell.namespace] = OrchestratorResult(
+                policy_name=self.policy.name,
+                duration=duration,
+                baseline_containers=self._baselines[index],
+                extra_replicas=np.asarray(self._extra[index], dtype=np.float64),
+                violations=slo_violations(
+                    response_time, dropped, offered, self.slo
+                ),
+                response_time=response_time,
+                throughput=throughput,
+                offered=offered,
+                dropped=dropped,
+                total_scale_outs=cell.autoscaler.total_scale_outs,
+            )
+        return FleetShardResult(
+            shard_index=self.shard_index,
+            decisions=list(self.decisions),
+            cells=cells,
+            health=self.policy.health(),
+            counters={
+                "demotions": self.policy.demotions,
+                "recoveries": self.policy.recoveries,
+                "failsafe_entries": self.policy.failsafe_entries,
+                "failsafe_ticks": self.policy.failsafe_ticks,
+                "classifier_errors": self.policy.classifier_errors,
+            },
+            resumed_from_tick=self.resumed_from_tick,
+        )
+
+
+def _run_shard(item: dict, arrays: dict) -> FleetShardResult:
+    """Worker entry point: run (or resume) one shard to the end.
+
+    Picklable by name for :func:`parallel_map`.  ``die_at_tick`` is a
+    test/bench knob: once at least one checkpoint exists, a *worker*
+    process exits hard at that tick to exercise the crash-rescue path;
+    the parent-side rescue (not ``in_worker``) resumes from the
+    checkpoint and completes the shard.
+    """
+    workloads = arrays["fleet_workloads"]
+    lo, hi = item["cell_rows"]
+    ticks = int(item["ticks"])
+    path = item.get("checkpoint_path")
+    interval = int(item.get("checkpoint_interval") or 0)
+    die_at = item.get("die_at_tick")
+
+    runner = None
+    if path and os.path.exists(path):
+        from repro.reliability.checkpoint import CheckpointError, load_checkpoint
+
+        try:
+            runner = load_checkpoint(path)
+            runner.resumed_from_tick = runner._t
+        except CheckpointError:
+            runner = None
+    if runner is None:
+        runner = FleetShardRunner(
+            item["shard"], item["specs"], item["model"],
+            policy_options=item.get("policy_options"),
+        )
+        runner.start()
+
+    while runner._t < ticks:
+        if (
+            die_at is not None
+            and runner._t >= int(die_at)
+            and runner.checkpoints_saved > 0
+            and in_worker()
+        ):
+            os._exit(23)
+        runner.tick(workloads[lo:hi, runner._t])
+        if path and interval and runner._t % interval == 0:
+            from repro.reliability.checkpoint import save_checkpoint
+
+            runner.checkpoints_saved += 1
+            save_checkpoint(runner, path)
+    return runner.finish()
+
+
+# ---------------------------------------------------------------------------
+# Fleet orchestrator
+# ---------------------------------------------------------------------------
+@dataclass
+class FleetResult:
+    """Merged outcome of all shards, in shard order."""
+
+    decisions: list  # per tick: sorted tuple of (namespace, deployment)
+    cells: dict[str, OrchestratorResult]
+    health: dict
+    counters: dict[str, int]
+    n_shards: int
+    shard_results: list = field(repr=False, default_factory=list)
+
+    @property
+    def total_scale_outs(self) -> int:
+        return sum(result.total_scale_outs for result in self.cells.values())
+
+
+class FleetOrchestrator:
+    """Shards the container axis of a fleet across pool workers."""
+
+    def __init__(
+        self,
+        specs,
+        model,
+        *,
+        n_shards: int | None = None,
+        n_jobs: int | None = None,
+        checkpoint_dir=None,
+        checkpoint_interval: int = 25,
+        policy_options: dict | None = None,
+        die_at_tick: dict | None = None,
+    ):
+        self.specs = list(specs)
+        if not self.specs:
+            raise ValueError("A fleet needs at least one cell spec.")
+        namespaces = [spec.namespace for spec in self.specs]
+        if len(set(namespaces)) != len(namespaces):
+            raise ValueError("Cell namespaces must be unique.")
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1.")
+        self.model = model
+        self.n_jobs = n_jobs
+        jobs = resolve_n_jobs(n_jobs)
+        self.n_shards = (
+            n_shards if n_shards is not None
+            else max(1, min(len(self.specs), jobs))
+        )
+        if not 1 <= self.n_shards <= len(self.specs):
+            raise ValueError("n_shards must be in [1, n_cells].")
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.policy_options = dict(policy_options or {})
+        # Test/bench knob: {shard_index: tick} hard-exits that shard's
+        # worker mid-run to exercise checkpointed crash rescue.
+        self.die_at_tick = dict(die_at_tick or {})
+
+    def run(self, workloads: np.ndarray) -> FleetResult:
+        """Drive every cell through its workload row; merge shard order."""
+        workloads = np.ascontiguousarray(workloads, dtype=np.float64)
+        if workloads.ndim != 2 or workloads.shape[0] != len(self.specs):
+            raise ValueError(
+                "workloads must be a (n_cells, duration) matrix aligned "
+                "with the cell specs."
+            )
+        ticks = workloads.shape[1]
+        if self.checkpoint_dir is not None:
+            os.makedirs(str(self.checkpoint_dir), exist_ok=True)
+        bounds = np.linspace(0, len(self.specs), self.n_shards + 1).astype(int)
+        items = []
+        for shard in range(self.n_shards):
+            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+            path = None
+            if self.checkpoint_dir is not None:
+                path = str(
+                    os.path.join(
+                        str(self.checkpoint_dir), f"shard-{shard:03d}.ckpt"
+                    )
+                )
+            items.append(
+                {
+                    "shard": shard,
+                    "specs": self.specs[lo:hi],
+                    "cell_rows": (lo, hi),
+                    "ticks": ticks,
+                    "model": self.model,
+                    "policy_options": self.policy_options,
+                    "checkpoint_path": path,
+                    "checkpoint_interval": self.checkpoint_interval,
+                    "die_at_tick": self.die_at_tick.get(shard),
+                }
+            )
+        shard_results = parallel_map(
+            _run_shard,
+            items,
+            n_jobs=self.n_jobs,
+            shared={"fleet_workloads": workloads},
+            chunk_size=1,
+            on_crash="serial",
+        )
+
+        decisions = [
+            tuple(
+                sorted(
+                    key
+                    for result in shard_results
+                    for key in result.decisions[t]
+                )
+            )
+            for t in range(ticks)
+        ]
+        cells: dict[str, OrchestratorResult] = {}
+        health: dict = {}
+        counters = {
+            "demotions": 0, "recoveries": 0, "failsafe_entries": 0,
+            "failsafe_ticks": 0, "classifier_errors": 0,
+        }
+        for result in shard_results:
+            cells.update(result.cells)
+            health.update(result.health)
+            for key in counters:
+                counters[key] += result.counters[key]
+        return FleetResult(
+            decisions=decisions,
+            cells=cells,
+            health=health,
+            counters=counters,
+            n_shards=self.n_shards,
+            shard_results=shard_results,
+        )

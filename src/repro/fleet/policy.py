@@ -1,0 +1,350 @@
+"""Fleet-wide saturation policy: one ``predict_proba`` per tick.
+
+:class:`FleetPolicy` is the struct-of-arrays counterpart of the
+per-container chain ``MonitorlessPolicy(streaming=True)`` (clean
+cells) and ``FallbackPolicy`` (cells with a secondary threshold
+policy).  Every registered cell's containers occupy rows of one
+telemetry matrix and one feature matrix; each tick the policy
+
+1. syncs membership (scale-out/scale-in -> row insertion/retirement),
+2. advances telemetry in rounds (see
+   :class:`~repro.fleet.telemetry.FleetTelemetryStream`) and pushes
+   each round through the batched pipeline,
+3. classifies the *whole fleet* with a single ``predict_proba`` call
+   on the feature matrix -- per-row results are independent of batch
+   composition, so the verdicts equal the per-cell reference's,
+4. runs the healthy/degraded/failsafe/recovering state machine as
+   vectorized int8 state + streak arrays whose transitions replicate
+   ``FallbackPolicy._record_outcome`` exactly.
+
+The return value is the set of saturated ``(namespace, deployment)``
+rollup keys; a deployment is saturated when any replica row flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.fleet.features import FleetPipelineStream
+from repro.fleet.membership import FleetIndex, FleetMember
+from repro.fleet.telemetry import FleetTelemetryStream
+from repro.reliability.fallback import DEGRADED, FAILSAFE, HEALTHY, RECOVERING
+
+__all__ = ["FleetPolicy"]
+
+# int8 encoding of the FallbackPolicy health states.
+_HEALTHY, _DEGRADED, _FAILSAFE, _RECOVERING = 0, 1, 2, 3
+_STATE_NAMES = {
+    _HEALTHY: HEALTHY,
+    _DEGRADED: DEGRADED,
+    _FAILSAFE: FAILSAFE,
+    _RECOVERING: RECOVERING,
+}
+
+
+@dataclass
+class _Cell:
+    """One application cell (namespace) registered with the policy."""
+
+    namespace: str
+    simulation: object
+    application: str
+    agent: object
+    secondary: object | None = None
+    pods: set[str] = field(default_factory=set)
+
+
+class FleetPolicy:
+    """Saturation verdicts for many cells from one matrix walk."""
+
+    name = "fleet"
+
+    def __init__(
+        self,
+        model,
+        *,
+        catalog=None,
+        capacity: int = 64,
+        history: int = 16,
+        staleness_budget: int | None = None,
+        failsafe: str = "hold",
+        recovery_ticks: int = 3,
+    ):
+        if failsafe not in ("hold", "scale-up"):
+            raise ValueError('failsafe must be "hold" or "scale-up".')
+        if recovery_ticks < 1:
+            raise ValueError("recovery_ticks must be >= 1.")
+        if staleness_budget is not None and staleness_budget < 0:
+            raise ValueError("staleness_budget must be >= 0.")
+        self.model = model
+        self.history = history
+        self.staleness_budget = staleness_budget
+        self.failsafe = failsafe
+        self.recovery_ticks = recovery_ticks
+        self.index = FleetIndex()
+        self._cells: dict[str, _Cell] = {}
+        if catalog is None:
+            from repro.telemetry.catalog import default_catalog
+
+            catalog = default_catalog()
+        self.telemetry = FleetTelemetryStream(
+            catalog, capacity=capacity, history=history
+        )
+        self.features = FleetPipelineStream(
+            model.pipeline_, catalog.feature_meta(), capacity=capacity
+        )
+        self._capacity = self.features.capacity
+        self._state = np.full(self._capacity, _HEALTHY, dtype=np.int8)
+        self._streak = np.zeros(self._capacity, dtype=np.int32)
+        # Rows with at least one recorded outcome; the reference health
+        # mapping only contains containers that were ever judged.
+        self._judged = np.zeros(self._capacity, dtype=bool)
+        self.demotions = 0
+        self.recoveries = 0
+        self.failsafe_entries = 0
+        self.failsafe_ticks = 0
+        self.classifier_errors = 0
+
+    # ------------------------------------------------------------------
+    # Cells and membership
+    # ------------------------------------------------------------------
+    def add_cell(self, namespace: str, simulation, application: str,
+                 agent, secondary=None) -> None:
+        """Register one application cell under ``namespace``."""
+        if namespace in self._cells:
+            raise ValueError(f"Cell {namespace!r} is already registered.")
+        self._cells[namespace] = _Cell(
+            namespace, simulation, application, agent, secondary
+        )
+        self._sync_cell(self._cells[namespace])
+
+    def sync(self) -> None:
+        """Reconcile matrix rows with every cell's live replica set."""
+        for cell in self._cells.values():
+            self._sync_cell(cell)
+
+    def _sync_cell(self, cell: _Cell) -> None:
+        deployment = cell.simulation.deployments[cell.application]
+        live = {
+            instance.container.name
+            for replicas in deployment.instances.values()
+            for instance in replicas
+        }
+        if live == cell.pods:
+            return  # membership unchanged: skip the sweep entirely
+        for service, replicas in deployment.instances.items():
+            for instance in replicas:
+                container = instance.container
+                if container.name in cell.pods:
+                    continue
+                row = self.index.add(
+                    FleetMember(
+                        namespace=cell.namespace,
+                        pod=container.name,
+                        container=service,
+                        deployment=service,
+                    )
+                )
+                if row >= self._capacity:
+                    self._grow(max(2 * self._capacity, row + 1))
+                self.telemetry.add_row(
+                    row, cell.namespace, cell.agent, container,
+                    cell.simulation.nodes,
+                )
+                self.features.reset_rows([row])
+                self._state[row] = _HEALTHY
+                self._streak[row] = 0
+                self._judged[row] = False
+        for pod in cell.pods - live:
+            row = self.index.retire(cell.namespace, pod)
+            self.telemetry.retire_row(row)
+            self.features.reset_rows([row])
+            self._state[row] = _HEALTHY
+            self._streak[row] = 0
+            self._judged[row] = False
+        cell.pods = live
+
+    def _grow(self, capacity: int) -> None:
+        self.telemetry.grow(capacity)
+        self.features.grow(capacity)
+        for name, fill in (("_state", _HEALTHY), ("_streak", 0),
+                           ("_judged", False)):
+            old = getattr(self, name)
+            fresh = np.full(capacity, fill, dtype=old.dtype)
+            fresh[: self._capacity] = old
+            setattr(self, name, fresh)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Vectorized FallbackPolicy._record_outcome
+    # ------------------------------------------------------------------
+    def _record_primary(self, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        state = self._state[rows]
+        unhealthy = state != _HEALTHY
+        if unhealthy.any():
+            sub = rows[unhealthy]
+            streak = np.where(
+                self._state[sub] == _RECOVERING, self._streak[sub] + 1, 1
+            )
+            recovered = streak >= self.recovery_ticks
+            self.recoveries += int(recovered.sum())
+            self._state[sub] = np.where(recovered, _HEALTHY, _RECOVERING)
+            self._streak[sub] = np.where(recovered, 0, streak)
+        self._judged[rows] = True
+
+    def _record_secondary(self, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        state = self._state[rows]
+        self.demotions += int(
+            ((state == _HEALTHY) | (state == _RECOVERING)).sum()
+        )
+        self._state[rows] = _DEGRADED
+        self._streak[rows] = 0
+        self._judged[rows] = True
+
+    def _record_failsafe(self, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        self.failsafe_entries += int((self._state[rows] != _FAILSAFE).sum())
+        self.failsafe_ticks += int(rows.size)
+        self._state[rows] = _FAILSAFE
+        self._streak[rows] = 0
+        self._judged[rows] = True
+
+    # ------------------------------------------------------------------
+    # The per-tick verdict
+    # ------------------------------------------------------------------
+    def saturated_services(self, t: int) -> set[tuple[str, str]]:
+        """Saturated ``(namespace, deployment)`` keys at tick ``t``."""
+        with obs.trace("policy.fleet"):
+            self.sync()
+            telemetry = self.telemetry
+            telemetry.begin_tick()
+            while True:
+                emitted = telemetry.advance_round()
+                if emitted.size == 0:
+                    break
+                self.features.push_rows(
+                    emitted,
+                    telemetry.raw[emitted],
+                    telemetry.completeness[emitted],
+                )
+
+            primary: list[int] = []
+            demoted: list[int] = []
+            for row in self.index.live_rows():
+                container = telemetry.container_at(row)
+                if telemetry.row_end(row) <= container.created_at:
+                    continue  # no samples yet
+                if row in telemetry.faulted:
+                    demoted.append(row)
+                    continue
+                if not self.features.has_features[row]:
+                    continue
+                if (
+                    self.staleness_budget is not None
+                    and telemetry.staleness(row) > self.staleness_budget
+                ):
+                    demoted.append(row)
+                    continue
+                primary.append(row)
+
+            primary_rows = np.asarray(primary, dtype=np.intp)
+            saturated: set[tuple[str, str]] = set()
+            flags = None
+            if primary_rows.size:
+                try:
+                    flags = self._classify(primary_rows)
+                except Exception:
+                    # The classifier itself failed: every primary
+                    # candidate falls through to the secondary.
+                    self.classifier_errors += 1
+                    obs.inc("fleet.classifier_errors")
+                    demoted.extend(primary)
+                else:
+                    self._record_primary(primary_rows)
+            if flags is not None:
+                for row, flag in zip(primary, flags):
+                    if flag:
+                        saturated.add(self.index.member_at(row).rollup_key)
+
+            secondary_rows: list[int] = []
+            failsafe_rows: list[int] = []
+            for row in demoted:
+                member = self.index.member_at(row)
+                cell = self._cells[member.namespace]
+                container = telemetry.container_at(row)
+                if cell.secondary is None:
+                    failsafe_rows.append(row)
+                    if self.failsafe == "scale-up":
+                        saturated.add(member.rollup_key)
+                    continue
+                try:
+                    verdict = cell.secondary.instance_saturated(
+                        container, cell.simulation
+                    )
+                except Exception:
+                    failsafe_rows.append(row)
+                    if self.failsafe == "scale-up":
+                        saturated.add(member.rollup_key)
+                else:
+                    secondary_rows.append(row)
+                    if verdict:
+                        saturated.add(member.rollup_key)
+            self._record_secondary(np.asarray(secondary_rows, dtype=np.intp))
+            self._record_failsafe(np.asarray(failsafe_rows, dtype=np.intp))
+            self._export_gauges()
+        return saturated
+
+    def _classify(self, rows: np.ndarray) -> np.ndarray:
+        """Per-row saturation flags from one fleet-matrix prediction."""
+        with obs.trace("policy.classify"):
+            batch = self.features.features[rows]
+            classifier = self.model.classifier_
+            if hasattr(classifier, "predict_proba"):
+                positive = classifier.predict_proba(batch)[:, 1]
+                flags = positive >= self.model.prediction_threshold
+            else:
+                flags = np.asarray(classifier.predict(batch)) == 1
+        if obs.enabled():
+            obs.inc("policy.classified_instances", float(rows.size))
+            obs.inc("policy.saturation_verdicts", float(flags.sum()))
+        return flags
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self, namespace: str | None = None) -> dict:
+        """Pod -> state-name mapping, mirroring ``FallbackPolicy.health``.
+
+        With ``namespace`` the keys are pods of that cell; without, the
+        keys are ``(namespace, pod)`` tuples for the whole fleet.  Only
+        pods with at least one recorded outcome appear.
+        """
+        result: dict = {}
+        for row in self.index.live_rows():
+            if not self._judged[row]:
+                continue
+            member = self.index.member_at(row)
+            state = _STATE_NAMES[int(self._state[row])]
+            if namespace is None:
+                result[(member.namespace, member.pod)] = state
+            elif member.namespace == namespace:
+                result[member.pod] = state
+        return result
+
+    def _export_gauges(self) -> None:
+        if not obs.enabled():
+            return
+        counts = dict.fromkeys(_STATE_NAMES.values(), 0)
+        for row in self.index.live_rows():
+            if self._judged[row]:
+                counts[_STATE_NAMES[int(self._state[row])]] += 1
+        for state, count in counts.items():
+            obs.set_gauge(f"fleet.containers_{state}", float(count))

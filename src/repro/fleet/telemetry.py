@@ -1,0 +1,244 @@
+"""Struct-of-arrays telemetry for a whole fleet.
+
+:class:`FleetTelemetryStream` replaces N per-container
+:class:`~repro.telemetry.stream.InstanceTelemetryStream` objects with
+one ``(n_rows, n_metrics)`` float64 matrix written in place each tick,
+plus a per-row completeness vector in place of per-stream flags.  Two
+row kinds coexist:
+
+- **fast rows** (plain :class:`~repro.telemetry.agent.TelemetryAgent`):
+  synthesis state is held directly as ``_ScopeStream`` objects, and
+  rows that share ``(namespace, node, start)`` share one *host* scope
+  stream.  This is bitwise-exact: the reference per-container streams
+  seed their host RNG with ``(node.name, start)`` only, so containers
+  on the same node opened at the same tick draw identical host rows --
+  the fleet path synthesizes that row once per group instead of once
+  per container.
+- **compat rows** (wrapped agents -- ``MetricDropout``, ``ChaosAgent``,
+  ``ResilientTelemetry``): the wrapper's own stream object is kept and
+  stepped row-wise, so fault injection, retry/LOCF imputation and
+  staleness accounting behave identically to the per-container path.
+
+Emission is *rounds-based* to mirror ``_ContainerStream.catch_up``:
+each :meth:`advance_round` advances every behind, unfaulted row by
+exactly one tick (normally the only round per policy tick); a
+:class:`~repro.reliability.telemetry.TelemetryFault` marks the row
+faulted for the remainder of the tick, exactly like ``catch_up``
+aborting.  Per-row pipeline state is independent, so pushing rounds
+through the feature pipeline preserves each row's tick order, which is
+all the reference semantics require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reliability.telemetry import TelemetryFault
+from repro.telemetry.agent import TelemetryAgent, _stream_seed
+from repro.telemetry.catalog import MetricCatalog
+from repro.telemetry.stream import _ScopeStream
+
+__all__ = ["FleetTelemetryStream"]
+
+
+class _HostGroup:
+    """Shared host-scope synthesis for rows with equal (namespace,
+    node, start) -- they draw bitwise-identical host sequences."""
+
+    __slots__ = ("agent", "node", "host", "clock", "members")
+
+    def __init__(self, agent, node, start: int):
+        self.agent = agent
+        self.node = node
+        self.host = _ScopeStream(
+            agent.catalog,
+            agent.catalog.host,
+            np.random.default_rng(
+                _stream_seed(agent.seed, f"host:{node.name}:{start}")
+            ),
+            agent.convert_counters,
+        )
+        self.clock = start
+        self.members: set[int] = set()
+
+
+class _FastRow:
+    __slots__ = ("scope", "group_key")
+
+    def __init__(self, scope, group_key):
+        self.scope = scope
+        self.group_key = group_key
+
+
+class FleetTelemetryStream:
+    """One raw-metric matrix per tick for the whole fleet."""
+
+    def __init__(self, catalog: MetricCatalog, capacity: int = 64,
+                 history: int = 16):
+        self.catalog = catalog
+        self.history = history
+        self.n_host = catalog.n_host
+        self.n_metrics = catalog.n_metrics
+        self.raw = np.zeros((capacity, self.n_metrics))
+        self.completeness = np.ones(capacity)
+        self._containers: dict[int, object] = {}
+        self._fast: dict[int, _FastRow] = {}
+        self._compat: dict[int, object] = {}
+        self._groups: dict[tuple[str, str, int], _HostGroup] = {}
+        #: Rows whose emission faulted during the current tick, mapped
+        #: to the fault (cleared by :meth:`begin_tick`).
+        self.faulted: dict[int, TelemetryFault] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self.raw.shape[0]
+
+    def grow(self, capacity: int) -> None:
+        if capacity <= self.capacity:
+            return
+        raw = np.zeros((capacity, self.n_metrics))
+        raw[: self.capacity] = self.raw
+        completeness = np.ones(capacity)
+        completeness[: self.capacity] = self.completeness
+        self.raw = raw
+        self.completeness = completeness
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_row(self, row: int, namespace: str, agent, container,
+                nodes: dict) -> None:
+        """Attach synthesis state for ``container`` to matrix ``row``.
+
+        Plain :class:`TelemetryAgent` instances take the grouped fast
+        path; any wrapper keeps its own per-row stream object so its
+        fault/imputation semantics are preserved bit for bit.
+        """
+        if row in self._containers:
+            raise ValueError(f"Row {row} is already occupied.")
+        self._containers[row] = container
+        if type(agent) is TelemetryAgent:
+            start = container.created_at
+            node = nodes[container.node]
+            key = (namespace, node.name, start)
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _HostGroup(agent, node, start)
+            group.members.add(row)
+            scope = _ScopeStream(
+                agent.catalog,
+                agent.catalog.container,
+                np.random.default_rng(
+                    _stream_seed(
+                        agent.seed, f"container:{container.name}:{start}"
+                    )
+                ),
+                agent.convert_counters,
+            )
+            self._fast[row] = _FastRow(scope, key)
+        else:
+            self._compat[row] = agent.open_stream(
+                container, nodes, history=self.history
+            )
+        self.completeness[row] = 1.0
+
+    def retire_row(self, row: int) -> None:
+        self._containers.pop(row)
+        fast = self._fast.pop(row, None)
+        if fast is not None:
+            group = self._groups[fast.group_key]
+            group.members.discard(row)
+            if not group.members:
+                del self._groups[fast.group_key]
+        else:
+            self._compat.pop(row, None)
+        self.faulted.pop(row, None)
+
+    # ------------------------------------------------------------------
+    # Per-row introspection (used by the fleet policy)
+    # ------------------------------------------------------------------
+    def container_at(self, row: int):
+        return self._containers[row]
+
+    def clock(self, row: int) -> int:
+        """Next tick the row will emit."""
+        stream = self._compat.get(row)
+        if stream is not None:
+            return stream.clock
+        return self._groups[self._fast[row].group_key].clock
+
+    def row_end(self, row: int) -> int:
+        """One past the last recorded simulation tick for the row."""
+        container = self._containers[row]
+        return container.created_at + len(container.history)
+
+    def staleness(self, row: int) -> int:
+        stream = self._compat.get(row)
+        if stream is None:
+            return 0
+        return int(getattr(stream, "staleness", 0))
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def begin_tick(self) -> None:
+        """Reset per-tick fault state before the first round."""
+        self.faulted.clear()
+
+    def advance_round(self) -> np.ndarray:
+        """Advance every behind, unfaulted row by exactly one tick.
+
+        Writes the emitted rows into :attr:`raw` / :attr:`completeness`
+        and returns their indices (ascending).  An empty result means
+        the whole fleet is caught up for this tick.
+        """
+        emitted: list[int] = []
+        host_state_cache: dict[tuple[str, str, int], np.ndarray] = {}
+        for key in sorted(self._groups):
+            group = self._groups[key]
+            rows = sorted(group.members)
+            anchor = self._containers[rows[0]]
+            end = anchor.created_at + len(anchor.history)
+            if group.clock >= end:
+                continue
+            t = group.clock
+            if anchor.tick_at(t) is None:
+                raise ValueError(
+                    f"Container {anchor.name} has no recorded tick {t}; "
+                    "advance the simulation before emitting."
+                )
+            state_key = (key[0], key[1], t)
+            host_state = host_state_cache.get(state_key)
+            if host_state is None:
+                host_state = group.agent.host_state(group.node, t, t + 1)[0]
+                host_state_cache[state_key] = host_state
+            host_row = group.host.step(host_state)
+            for row in rows:
+                container = self._containers[row]
+                container_state = group.agent.container_state(
+                    container, group.node, t, t + 1
+                )[0]
+                self.raw[row, : self.n_host] = host_row
+                self.raw[row, self.n_host:] = self._fast[row].scope.step(
+                    container_state
+                )
+                self.completeness[row] = 1.0
+                emitted.append(row)
+            group.clock = t + 1
+        for row in sorted(self._compat):
+            if row in self.faulted:
+                continue
+            stream = self._compat[row]
+            container = self._containers[row]
+            if stream.clock >= container.created_at + len(container.history):
+                continue
+            try:
+                values = stream.emit()
+            except TelemetryFault as fault:
+                self.faulted[row] = fault
+                continue
+            self.raw[row] = values
+            self.completeness[row] = stream.tail.last_completeness()
+            emitted.append(row)
+        emitted.sort()
+        return np.asarray(emitted, dtype=np.intp)

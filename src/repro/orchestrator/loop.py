@@ -39,8 +39,21 @@ class OrchestratorResult:
 
     @property
     def average_provisioning(self) -> float:
-        """Average extra containers relative to the baseline (Table 7)."""
-        return float(np.mean(self.extra_replicas)) / self.baseline_containers
+        """Average extra containers relative to the baseline (Table 7).
+
+        Degenerate runs (no baseline replicas recorded, e.g. a policy
+        evaluated against an empty deployment snapshot) report 0.0
+        when nothing was ever scaled out and ``inf`` otherwise, instead
+        of dividing by zero.
+        """
+        mean_extra = (
+            float(np.mean(self.extra_replicas))
+            if self.extra_replicas.size
+            else 0.0
+        )
+        if self.baseline_containers <= 0:
+            return 0.0 if mean_extra == 0.0 else float("inf")
+        return mean_extra / self.baseline_containers
 
     @property
     def slo_violation_count(self) -> int:
@@ -214,6 +227,11 @@ class Orchestrator:
 
         Thin wrapper over :meth:`start` / :meth:`tick` / :meth:`finish`.
         """
+        if not workloads:
+            raise ValueError(
+                "run() needs at least one workload series; got an empty "
+                "mapping."
+            )
         lengths = {len(series) for series in workloads.values()}
         if len(lengths) != 1:
             raise ValueError("All workload series must have equal length.")

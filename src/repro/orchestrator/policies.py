@@ -178,9 +178,12 @@ class MonitorlessPolicy:
                     if features is not None:
                         services.append(service)
                         current_rows.append(features)
-            # Retired replicas (scale-in) never come back; drop their state.
-            for name in [n for n in self._streams if n not in live]:
-                del self._streams[name]
+            # Retired replicas (scale-in) never come back; drop their
+            # state.  Membership rarely changes, so skip the sweep
+            # entirely unless some stream key is no longer live.
+            if not self._streams.keys() <= live:
+                for name in [n for n in self._streams if n not in live]:
+                    del self._streams[name]
             return self._classify(services, current_rows)
 
         for service, replicas in deployment.instances.items():

@@ -187,11 +187,17 @@ class FallbackPolicy:
                     primary_items.append((service, container, features))
 
             # Retired replicas (scale-in) never come back; drop state.
-            for name in [n for n in self.primary._streams if n not in live]:
-                del self.primary._streams[name]
-            for name in [n for n in self.health if n not in live]:
-                del self.health[name]
-                self._streak.pop(name, None)
+            # Membership rarely changes, so skip the sweeps unless some
+            # tracked key is no longer live.
+            if not self.primary._streams.keys() <= live:
+                for name in [
+                    n for n in self.primary._streams if n not in live
+                ]:
+                    del self.primary._streams[name]
+            if not self.health.keys() <= live:
+                for name in [n for n in self.health if n not in live]:
+                    del self.health[name]
+                    self._streak.pop(name, None)
 
             try:
                 saturated = self.primary._classify(

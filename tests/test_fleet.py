@@ -1,0 +1,425 @@
+"""Tests for the fleet-scale vectorized serving path (`repro.fleet`):
+row membership, bitwise telemetry/pipeline parity with the
+per-container reference, decision equivalence under clean, dropout and
+full-chaos stacks, and per-shard checkpointed crash rescue."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.features import FleetPipelineStream
+from repro.fleet.membership import FleetIndex, FleetMember
+from repro.fleet.orchestrator import (
+    FleetOrchestrator,
+    FleetShardRunner,
+    build_cell,
+    default_fleet_workloads,
+    make_fleet_specs,
+)
+from repro.fleet.policy import FleetPolicy
+from repro.fleet.telemetry import FleetTelemetryStream
+from repro.orchestrator.autoscaler import Autoscaler, ScalingRules
+from repro.orchestrator.loop import Orchestrator, OrchestratorResult
+from repro.orchestrator.policies import MonitorlessPolicy
+from repro.reliability.fallback import FallbackPolicy
+from repro.telemetry.agent import TelemetryAgent
+from repro.telemetry.catalog import default_catalog
+
+
+def _member(namespace="cell-0", pod="teastore.auth.1", service="auth"):
+    return FleetMember(
+        namespace=namespace, pod=pod, container=service, deployment=service
+    )
+
+
+class TestFleetIndex:
+    def test_rollup_key_is_namespace_deployment(self):
+        member = _member()
+        assert member.rollup_key == ("cell-0", "auth")
+
+    def test_rows_are_assigned_and_reused_smallest_first(self):
+        index = FleetIndex()
+        rows = [index.add(_member(pod=f"teastore.auth.{i}")) for i in range(4)]
+        assert rows == [0, 1, 2, 3]
+        index.retire("cell-0", "teastore.auth.1")
+        index.retire("cell-0", "teastore.auth.0")
+        assert len(index) == 2
+        # Retired rows come back smallest-first, deterministically.
+        assert index.add(_member(pod="teastore.auth.9")) == 0
+        assert index.add(_member(pod="teastore.auth.10")) == 1
+        assert index.add(_member(pod="teastore.auth.11")) == 4
+        assert index.capacity == 5
+
+    def test_duplicate_and_namespace_scoping(self):
+        index = FleetIndex()
+        index.add(_member(namespace="a", pod="p"))
+        index.add(_member(namespace="b", pod="p"))  # same pod, other cell
+        with pytest.raises(ValueError):
+            index.add(_member(namespace="a", pod="p"))
+        assert index.pods_in("a") == {"p"}
+        assert index.member_at(index.row_of("b", "p")).namespace == "b"
+
+
+class TestFleetPipelineBitwise:
+    def test_matches_per_container_streams_row_for_row(self, tiny_model):
+        """Staggered rows with NaNs and sub-1.0 completeness produce
+        bitwise the same engineered rows as dedicated PipelineStreams."""
+        meta = default_catalog().feature_meta()
+        n_raw = len(meta)
+        fleet = FleetPipelineStream(
+            tiny_model.pipeline_, meta, capacity=4, chunk_rows=2
+        )
+        references = [tiny_model.pipeline_.stream() for _ in range(3)]
+        rng = np.random.default_rng(42)
+        starts = [0, 0, 5]  # row 2 joins later, mid-run
+        for t in range(14):
+            rows, raws, completeness = [], [], []
+            for row, start in enumerate(starts):
+                if t < start:
+                    continue
+                raw = rng.uniform(0.0, 50.0, n_raw)
+                if t % 4 == 1:
+                    raw[rng.integers(0, n_raw, 7)] = np.nan
+                complete = 0.8 if t % 5 == 2 else 1.0
+                rows.append(row)
+                raws.append(raw)
+                completeness.append(complete)
+            fleet.push_rows(
+                np.asarray(rows, dtype=np.intp),
+                np.asarray(raws),
+                np.asarray(completeness),
+            )
+            for row, raw, complete in zip(rows, raws, completeness):
+                expected = references[row].push(raw, imputed=complete < 1.0)
+                assert np.array_equal(fleet.features[row], expected), (
+                    f"row {row} diverged at tick {t}"
+                )
+        for row in range(3):
+            assert fleet.imputed_ticks[row] == references[row].imputed_ticks
+            assert fleet.ticks[row] == references[row].ticks
+
+    def test_reset_rows_restarts_a_series(self, tiny_model):
+        meta = default_catalog().feature_meta()
+        fleet = FleetPipelineStream(tiny_model.pipeline_, meta, capacity=2)
+        rng = np.random.default_rng(7)
+        raw = rng.uniform(0.0, 50.0, (1, len(meta)))
+        rows = np.asarray([0], dtype=np.intp)
+        ones = np.ones(1)
+        fleet.push_rows(rows, raw, ones)
+        first = fleet.features[0].copy()
+        fleet.push_rows(rows, rng.uniform(0.0, 50.0, (1, len(meta))), ones)
+        fleet.reset_rows(rows)
+        assert not fleet.has_features[0]
+        fleet.push_rows(rows, raw, ones)
+        assert np.array_equal(fleet.features[0], first)
+
+
+class TestFleetTelemetryBitwise:
+    def test_fast_path_matches_instance_streams(self):
+        """Grouped host synthesis equals per-container streams bitwise."""
+        spec = make_fleet_specs(1, base_seed=3)[0]
+        cell = build_cell(spec)
+        agent = cell.agent
+        assert type(agent) is TelemetryAgent
+        deployment = cell.simulation.deployments[cell.application]
+        containers = [
+            instance.container
+            for replicas in deployment.instances.values()
+            for instance in replicas
+        ]
+        fleet = FleetTelemetryStream(agent.catalog, capacity=len(containers))
+        for row, container in enumerate(containers):
+            fleet.add_row(
+                row, spec.namespace, agent, container, cell.simulation.nodes
+            )
+        references = [
+            agent.open_stream(container, cell.simulation.nodes)
+            for container in containers
+        ]
+        for t in range(8):
+            cell.simulation.step({cell.application: 40.0})
+            fleet.begin_tick()
+            emitted = fleet.advance_round()
+            assert emitted.tolist() == list(range(len(containers)))
+            assert fleet.advance_round().size == 0  # caught up
+            for row, stream in enumerate(references):
+                assert np.array_equal(fleet.raw[row], stream.emit()), (
+                    f"row {row} diverged at tick {t}"
+                )
+        assert np.all(fleet.completeness[: len(containers)] == 1.0)
+
+
+def _drive_reference_cell(spec, model, workload, *, use_fallback=False,
+                          recovery_ticks=2, autoscaler=None):
+    """Per-container reference loop for one cell; returns per-tick
+    saturated sets, extras, and the policy object."""
+    cell = build_cell(spec)
+    if autoscaler is not None:
+        cell.autoscaler = autoscaler(cell)
+    primary = MonitorlessPolicy(model, cell.agent, window=16, streaming=True)
+    if use_fallback:
+        policy = FallbackPolicy(
+            primary, cell.secondary, recovery_ticks=recovery_ticks
+        )
+    else:
+        policy = primary
+    decisions, extras = [], []
+    for t in range(len(workload)):
+        cell.simulation.step({cell.application: float(workload[t])})
+        saturated = policy.saturated_services(
+            cell.simulation, cell.application, t
+        )
+        cell.autoscaler.act(saturated, t)
+        decisions.append(set(saturated))
+        extras.append(cell.autoscaler.extra_replicas)
+    return decisions, extras, policy, cell
+
+
+class TestFleetEquivalence:
+    def _assert_decisions_match(self, fleet_result, specs, per_cell):
+        ticks = len(fleet_result.decisions)
+        for t in range(ticks):
+            want = {
+                (spec.namespace, service)
+                for spec in specs
+                for service in per_cell[spec.namespace][t]
+            }
+            assert set(fleet_result.decisions[t]) == want, f"tick {t}"
+
+    def test_clean_cells_match_reference_decisions(self, tiny_model):
+        ticks = 45
+        specs = make_fleet_specs(3, base_seed=0, kind="teastore")
+        workloads = default_fleet_workloads(3, ticks, seed=0)
+        runner = FleetShardRunner(0, specs, tiny_model)
+        runner.start()
+        for t in range(ticks):
+            runner.tick(workloads[:, t])
+        fleet = runner.finish()
+
+        per_cell = {}
+        for row, spec in enumerate(specs):
+            decisions, extras, _, _ = _drive_reference_cell(
+                spec, tiny_model, workloads[row]
+            )
+            per_cell[spec.namespace] = decisions
+            assert np.array_equal(
+                fleet.cells[spec.namespace].extra_replicas,
+                np.asarray(extras, dtype=np.float64),
+            )
+        self._assert_decisions_match(fleet, specs, per_cell)
+        # The run must actually exercise the loop: some saturation
+        # decisions and some scale-outs.
+        assert sum(len(d) for d in fleet.decisions) > 0
+        assert fleet.cells[specs[0].namespace].total_scale_outs > 0
+
+    def test_dropout_cells_match_reference_decisions(self, tiny_model):
+        ticks = 40
+        specs = make_fleet_specs(2, base_seed=0, kind="teastore-dropout")
+        workloads = default_fleet_workloads(2, ticks, seed=0)
+        runner = FleetShardRunner(0, specs, tiny_model)
+        runner.start()
+        for t in range(ticks):
+            runner.tick(workloads[:, t])
+        fleet = runner.finish()
+        per_cell = {}
+        for row, spec in enumerate(specs):
+            decisions, extras, _, _ = _drive_reference_cell(
+                spec, tiny_model, workloads[row]
+            )
+            per_cell[spec.namespace] = decisions
+            assert np.array_equal(
+                fleet.cells[spec.namespace].extra_replicas,
+                np.asarray(extras, dtype=np.float64),
+            )
+        self._assert_decisions_match(fleet, specs, per_cell)
+
+    def test_chaos_cells_match_fallback_chain(self, tiny_model):
+        """Full chaos stack: decisions, health states and fallback
+        counters all equal the per-container FallbackPolicy chain."""
+        ticks = 40
+        specs = make_fleet_specs(2, base_seed=0, kind="teastore-chaos")
+        workloads = default_fleet_workloads(2, ticks, seed=0)
+        runner = FleetShardRunner(
+            0, specs, tiny_model, policy_options={"recovery_ticks": 2}
+        )
+        runner.start()
+        for t in range(ticks):
+            runner.tick(workloads[:, t])
+        fleet = runner.finish()
+
+        per_cell, ref_health = {}, {}
+        ref_counters = dict.fromkeys(
+            ("demotions", "recoveries", "failsafe_entries", "failsafe_ticks"),
+            0,
+        )
+        for row, spec in enumerate(specs):
+            decisions, extras, policy, _ = _drive_reference_cell(
+                spec, tiny_model, workloads[row], use_fallback=True
+            )
+            per_cell[spec.namespace] = decisions
+            assert np.array_equal(
+                fleet.cells[spec.namespace].extra_replicas,
+                np.asarray(extras, dtype=np.float64),
+            )
+            for pod, state in policy.health.items():
+                ref_health[(spec.namespace, pod)] = state
+            for key in ref_counters:
+                ref_counters[key] += getattr(policy, key)
+        self._assert_decisions_match(fleet, specs, per_cell)
+        assert fleet.health == ref_health
+        assert {k: fleet.counters[k] for k in ref_counters} == ref_counters
+        # Chaos must actually demote something or the parity is vacuous.
+        assert fleet.counters["demotions"] > 0
+
+    def test_scale_in_retires_and_reuses_rows(self, tiny_model):
+        """Short replica lifespans force scale-in mid-run; fleet rows
+        are retired/reused and decisions still match the reference."""
+        ticks = 50
+
+        def short_rules():
+            base = build_cell(make_fleet_specs(1)[0]).autoscaler.rules
+            return ScalingRules(
+                placements=base.placements,
+                replica_lifespan=8,
+                scale_groups=base.scale_groups,
+            )
+
+        spec = make_fleet_specs(1, base_seed=1, kind="teastore")[0]
+        workload = default_fleet_workloads(1, ticks, seed=1)[0]
+
+        cell = build_cell(spec)
+        cell.autoscaler = Autoscaler(
+            simulation=cell.simulation, application=cell.application,
+            rules=short_rules(),
+        )
+        policy = FleetPolicy(tiny_model)
+        policy.add_cell(
+            spec.namespace, cell.simulation, cell.application, cell.agent
+        )
+        fleet_decisions = []
+        for t in range(ticks):
+            cell.simulation.step({cell.application: float(workload[t])})
+            saturated = policy.saturated_services(t)
+            cell.autoscaler.act(
+                {s for ns, s in saturated if ns == spec.namespace}, t
+            )
+            fleet_decisions.append(saturated)
+
+        ref_decisions, _, _, ref_cell = _drive_reference_cell(
+            spec, tiny_model, workload,
+            autoscaler=lambda c: Autoscaler(
+                simulation=c.simulation, application=c.application,
+                rules=short_rules(),
+            ),
+        )
+        for t in range(ticks):
+            want = {(spec.namespace, s) for s in ref_decisions[t]}
+            assert fleet_decisions[t] == want, f"tick {t}"
+        # Scale-in actually happened and freed matrix rows for reuse:
+        # without reuse, capacity would equal the 7 baseline containers
+        # plus every scale-out replica ever added.
+        assert cell.autoscaler.total_scale_outs > 1
+        assert policy.index.capacity < 7 + cell.autoscaler.total_scale_outs
+
+
+class TestFleetKillResume:
+    def test_worker_loss_midrun_is_bitwise_rescued(self, tiny_model,
+                                                   tmp_path):
+        """Kill shard 0's worker at tick 20; the parent rescue resumes
+        from the tick-16 checkpoint and the fleet result is bitwise
+        identical to an uninterrupted run."""
+        ticks = 35
+        specs = make_fleet_specs(4, base_seed=0, kind="teastore")
+        workloads = default_fleet_workloads(4, ticks, seed=0)
+        clean = FleetOrchestrator(
+            specs, tiny_model, n_shards=2, n_jobs=2
+        ).run(workloads)
+        # A not-yet-existing nested directory must be created on run().
+        crashed = FleetOrchestrator(
+            specs, tiny_model, n_shards=2, n_jobs=2,
+            checkpoint_dir=tmp_path / "nested" / "checkpoints",
+            checkpoint_interval=8,
+            die_at_tick={0: 20},
+        ).run(workloads)
+        # The crash really happened: shard 0 was resumed from its last
+        # checkpoint before the kill tick.
+        assert crashed.shard_results[0].resumed_from_tick == 16
+        assert crashed.decisions == clean.decisions
+        for namespace in clean.cells:
+            for attribute in ("extra_replicas", "violations",
+                              "response_time", "throughput"):
+                assert np.array_equal(
+                    getattr(clean.cells[namespace], attribute),
+                    getattr(crashed.cells[namespace], attribute),
+                ), f"{namespace}.{attribute}"
+            assert (
+                clean.cells[namespace].total_scale_outs
+                == crashed.cells[namespace].total_scale_outs
+            )
+
+    def test_sharding_is_invariant_under_n_jobs_and_n_shards(
+        self, tiny_model
+    ):
+        """PR 2's determinism contract extends to the fleet: decisions
+        are identical for serial, 2-shard and 4-shard runs."""
+        ticks = 25
+        specs = make_fleet_specs(4, base_seed=0, kind="teastore")
+        workloads = default_fleet_workloads(4, ticks, seed=0)
+        serial = FleetOrchestrator(
+            specs, tiny_model, n_shards=1, n_jobs=None
+        ).run(workloads)
+        two = FleetOrchestrator(
+            specs, tiny_model, n_shards=2, n_jobs=2
+        ).run(workloads)
+        four = FleetOrchestrator(
+            specs, tiny_model, n_shards=4, n_jobs=2
+        ).run(workloads)
+        assert serial.decisions == two.decisions == four.decisions
+        for namespace in serial.cells:
+            assert np.array_equal(
+                serial.cells[namespace].extra_replicas,
+                two.cells[namespace].extra_replicas,
+            )
+            assert np.array_equal(
+                serial.cells[namespace].extra_replicas,
+                four.cells[namespace].extra_replicas,
+            )
+
+
+class TestOrchestratorGuards:
+    """Satellite fixes in the per-container Orchestrator."""
+
+    def test_run_with_empty_workloads_has_its_own_error(self):
+        spec = make_fleet_specs(1)[0]
+        cell = build_cell(spec)
+        orchestrator = Orchestrator(
+            cell.simulation, cell.application,
+            MonitorlessPolicyStub(), rules=None,
+        )
+        with pytest.raises(ValueError, match="at least one workload"):
+            orchestrator.run({})
+
+    def test_average_provisioning_guards_zero_baseline(self):
+        def result(extra, baseline):
+            return OrchestratorResult(
+                policy_name="stub", duration=len(extra),
+                baseline_containers=baseline,
+                extra_replicas=np.asarray(extra, dtype=np.float64),
+                violations=np.zeros(len(extra)),
+                response_time=np.zeros(len(extra)),
+                throughput=np.zeros(len(extra)),
+                offered=np.zeros(len(extra)),
+                dropped=np.zeros(len(extra)),
+                total_scale_outs=0,
+            )
+
+        assert result([0.0, 0.0], 0).average_provisioning == 0.0
+        assert result([], 0).average_provisioning == 0.0
+        assert result([2.0], 0).average_provisioning == float("inf")
+        assert result([2.0, 2.0], 4).average_provisioning == 0.5
+
+
+class MonitorlessPolicyStub:
+    name = "stub"
+
+    def saturated_services(self, simulation, application, t):
+        return set()
