@@ -16,6 +16,7 @@ threshold of 0.4 implements the paper's FN-averse operating point.
 
 from __future__ import annotations
 
+import inspect
 import pickle
 from pathlib import Path
 from typing import Any, Sequence
@@ -30,7 +31,45 @@ from repro.ml.gbm import GradientBoostingClassifier
 from repro.ml.linear import LinearSVC, LogisticRegression
 from repro.ml.neural import MLPClassifier
 
-__all__ = ["MonitorlessModel", "ModelStream", "CLASSIFIERS", "make_classifier"]
+__all__ = [
+    "MonitorlessModel",
+    "ModelStream",
+    "CLASSIFIERS",
+    "make_classifier",
+    "predict_proba_trusted",
+]
+
+# Per-class cache of whether predict_proba accepts ``check_input``;
+# probed once with inspect instead of try/except per tick.
+_CHECK_INPUT_SUPPORT: dict[type, bool] = {}
+
+
+def _supports_check_input(classifier) -> bool:
+    cls = type(classifier)
+    cached = _CHECK_INPUT_SUPPORT.get(cls)
+    if cached is None:
+        try:
+            parameters = inspect.signature(cls.predict_proba).parameters
+            cached = "check_input" in parameters
+        except (AttributeError, TypeError, ValueError):
+            cached = False
+        _CHECK_INPUT_SUPPORT[cls] = cached
+    return cached
+
+
+def predict_proba_trusted(classifier, features: np.ndarray) -> np.ndarray:
+    """``predict_proba`` skipping input re-validation where supported.
+
+    The streaming and fleet serving paths hand the classifier feature
+    matrices they already own and validated (pipeline output buffers),
+    so the per-call ``check_array`` pass is pure overhead there.  Tree
+    and forest classifiers expose ``check_input=False`` for exactly
+    this; classifiers without the parameter get the ordinary call.
+    Results are identical either way -- only the validation is skipped.
+    """
+    if _supports_check_input(classifier):
+        return classifier.predict_proba(features, check_input=False)
+    return classifier.predict_proba(features)
 
 # Factory defaults follow the paper's grid-search winners (Table 2,
 # underlined values).  Tree count / depth are scaled down from the
@@ -288,13 +327,13 @@ class ModelStream:
                 f"{self.model.classifier_name} exposes no probabilities; "
                 "use predict_tick()."
             )
-        return float(classifier.predict_proba(features[None, :])[0, 1])
+        return float(predict_proba_trusted(classifier, features[None, :])[0, 1])
 
     def predict_tick(self, row: np.ndarray) -> int:
         """Raw metric row -> binary saturation verdict (1 = saturated)."""
         features = self.transform_tick(row)
         classifier = self.model.classifier_
         if hasattr(classifier, "predict_proba"):
-            positive = classifier.predict_proba(features[None, :])[0, 1]
+            positive = predict_proba_trusted(classifier, features[None, :])[0, 1]
             return int(positive >= self.model.prediction_threshold)
         return int(np.asarray(classifier.predict(features[None, :]))[0])

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.core.model import predict_proba_trusted
 from repro.fleet.features import FleetPipelineStream
 from repro.fleet.membership import FleetIndex, FleetMember
 from repro.fleet.telemetry import FleetTelemetryStream
@@ -308,7 +309,9 @@ class FleetPolicy:
             batch = self.features.features[rows]
             classifier = self.model.classifier_
             if hasattr(classifier, "predict_proba"):
-                positive = classifier.predict_proba(batch)[:, 1]
+                # The fleet feature matrix is already validated float64;
+                # skip the per-tick check_array re-validation.
+                positive = predict_proba_trusted(classifier, batch)[:, 1]
                 flags = positive >= self.model.prediction_threshold
             else:
                 flags = np.asarray(classifier.predict(batch)) == 1

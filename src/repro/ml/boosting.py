@@ -19,6 +19,7 @@ from repro.ml.base import (
     check_X_y,
 )
 from repro.ml.binning import Binner
+from repro.ml.flatforest import FlatTrees
 from repro.ml.tree import DecisionTreeClassifier
 
 __all__ = ["AdaBoostClassifier"]
@@ -147,18 +148,58 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         if not self.estimators_:
             raise RuntimeError("AdaBoost failed to fit any weak learner.")
         self.n_features_in_ = X.shape[1]
+        self._flat_trees_ = None
         return self
+
+    def _flat(self) -> FlatTrees:
+        """Weak learners compiled flat, leaf tables at full class width.
+
+        Each learner's value table is expanded to ``len(classes_)``
+        columns via its own ``classes_`` so the per-learner score math
+        below reads one gathered probability row per (sample, round).
+        """
+        flat = self.__dict__.get("_flat_trees_")
+        if flat is None:
+            k = len(self.classes_)
+            values = []
+            for learner in self.estimators_:
+                table = learner.tree_value_
+                if table.shape[1] == k:
+                    values.append(table)
+                else:
+                    expanded = np.zeros((table.shape[0], k))
+                    expanded[:, learner.classes_] = table
+                    values.append(expanded)
+            flat = FlatTrees.from_arrays(
+                [(t.tree_feature_, t.tree_threshold_, t.tree_left_,
+                  t.tree_right_) for t in self.estimators_],
+                values,
+            )
+            self._flat_trees_ = flat
+        return flat
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_flat_trees_", None)
+        return state
 
     def _decision_scores(self, X: np.ndarray) -> np.ndarray:
         k = len(self.classes_)
-        scores = np.zeros((X.shape[0], k))
+        n = X.shape[0]
+        # One batched traversal covers every boosting round; the
+        # per-round score updates below then consume gathered leaf
+        # probability rows in the historical round order.
+        flat = self._flat()
+        leaves = flat.apply(X)
+        scores = np.zeros((n, k))
         if self.algorithm == "SAMME":
-            for learner, alpha in zip(self.estimators_, self.estimator_weights_):
-                predictions = learner.predict(X)
-                scores[np.arange(X.shape[0]), predictions] += alpha
+            rows = np.arange(n)
+            for j, alpha in enumerate(self.estimator_weights_):
+                predictions = np.argmax(flat.value[leaves[:, j]], axis=1)
+                scores[rows, predictions] += alpha
         else:
-            for learner in self.estimators_:
-                proba = np.clip(learner.predict_proba(X), 1e-12, 1.0)
+            for j in range(len(self.estimators_)):
+                proba = np.clip(flat.value[leaves[:, j]], 1e-12, 1.0)
                 log_proba = np.log(proba)
                 scores += (k - 1.0) * (
                     log_proba - log_proba.mean(axis=1, keepdims=True)

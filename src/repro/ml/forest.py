@@ -32,8 +32,9 @@ from repro.ml.base import (
     compute_sample_weight,
 )
 from repro.ml.binning import Binner
+from repro.ml.flatforest import FlatForest
 from repro.ml.tree import DecisionTreeClassifier
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_n_jobs
 
 __all__ = ["RandomForestClassifier"]
 
@@ -180,11 +181,16 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         # unchanged, and workers never touch a shared RNG.  The index
         # matrix travels through shared memory like X.
         rng = check_random_state(self.random_state)
+        # Refitting invalidates any compiled flat representation and,
+        # in exact mode, any binner left over from an earlier hist fit.
+        self._flat_forest_ = None
+        self.binner_ = None
         if self.tree_method == "hist":
             # Bin once per forest; every tree shares the uint8 code
             # matrix and the packed bin edges through shared memory
             # (workers never re-bin or receive a pickled copy).
             binner = Binner(self.max_bins).fit(X)
+            self.binner_ = binner
             bin_values, bin_offsets = binner.pack()
             shared = {
                 "Xb": binner.transform(X),
@@ -231,18 +237,57 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.feature_importances_ = importances / total if total > 0 else importances
         return self
 
-    def predict_proba(self, X) -> np.ndarray:
+    def _flat(self) -> FlatForest:
+        """The compiled flat-forest, built lazily on first predict."""
+        flat = self.__dict__.get("_flat_forest_")
+        if flat is None:
+            flat = FlatForest.from_estimators(
+                self.estimators_,
+                n_classes=len(self.classes_),
+                binner=getattr(self, "binner_", None),
+                chunk_trees=_PREDICT_CHUNK_TREES,
+            )
+            self._flat_forest_ = flat
+        return flat
+
+    def __getstate__(self):
+        # The flat compile is derived state: dropping it keeps pickled
+        # forests (checkpoints, pool shipping) lean, and it rebuilds on
+        # first predict after load.
+        state = self.__dict__.copy()
+        state.pop("_flat_forest_", None)
+        return state
+
+    def predict_proba(self, X, check_input: bool = True) -> np.ndarray:
         check_is_fitted(self, "estimators_")
-        X = check_array(X)
+        if check_input:
+            X = check_array(X)
+        else:
+            # Trusted path: the caller guarantees a validated float64
+            # 2D matrix (streaming/fleet pipelines own their buffers).
+            X = np.asarray(X, dtype=np.float64)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features; forest was fitted with "
                 f"{self.n_features_in_}."
             )
         k = len(self.classes_)
+        n_trees = len(self.estimators_)
+        n_chunks = -(-n_trees // _PREDICT_CHUNK_TREES)
+        if resolve_n_jobs(self.n_jobs) == 1:
+            # Serial: one batched all-rows x all-trees traversal over
+            # the compiled flat forest -- no pool dispatch, no per-tree
+            # Python loop.  Vote accumulation keeps the 16-tree chunk
+            # grouping, so the probabilities are bitwise-equal to the
+            # per-tree chunked path below at any n_jobs.
+            with obs.trace("forest.predict_proba"):
+                proba = self._flat().predict_proba(X)
+            obs.inc("forest.predict_chunks", n_chunks)
+            obs.inc("forest.predict_chunk_trees", n_trees)
+            return proba
         chunks = [
             self.estimators_[start:start + _PREDICT_CHUNK_TREES]
-            for start in range(0, len(self.estimators_), _PREDICT_CHUNK_TREES)
+            for start in range(0, n_trees, _PREDICT_CHUNK_TREES)
         ]
         # Each task already bundles _PREDICT_CHUNK_TREES trees, so one
         # task per dispatch is the right scheduling granularity.
@@ -257,7 +302,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         accumulated = partials[0]
         for votes in partials[1:]:
             accumulated = accumulated + votes
-        return accumulated / len(self.estimators_)
+        return accumulated / n_trees
 
     def predict(self, X) -> np.ndarray:
         probabilities = self.predict_proba(X)

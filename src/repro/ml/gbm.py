@@ -23,6 +23,7 @@ from repro.ml.base import (
     check_X_y,
 )
 from repro.ml.binning import Binner
+from repro.ml.flatforest import FlatTrees, tree_apply
 
 __all__ = ["GradientBoostingClassifier"]
 
@@ -288,20 +289,12 @@ class _BoostTree:
         return feature_idx, threshold, left_mask
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        feature = np.asarray(self.feature)
-        threshold = np.asarray(self.threshold)
-        left = np.asarray(self.left)
-        right = np.asarray(self.right)
-        value = np.asarray(self.leaf_value)
-        node = np.zeros(X.shape[0], dtype=np.int64)
-        active = feature[node] != _LEAF
-        while np.any(active):
-            idx = np.flatnonzero(active)
-            nodes = node[idx]
-            go_left = X[idx, feature[nodes]] <= threshold[nodes]
-            node[idx] = np.where(go_left, left[nodes], right[nodes])
-            active[idx] = feature[node[idx]] != _LEAF
-        return value[node]
+        feature = np.asarray(self.feature, dtype=np.int64)
+        threshold = np.asarray(self.threshold, dtype=np.float64)
+        left = np.asarray(self.left, dtype=np.int64)
+        right = np.asarray(self.right, dtype=np.int64)
+        value = np.asarray(self.leaf_value, dtype=np.float64)
+        return value[tree_apply(feature, threshold, left, right, X)]
 
 
 class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
@@ -398,7 +391,25 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 break  # already fit perfectly; further rounds are no-ops
 
         self.n_features_in_ = X.shape[1]
+        self._flat_trees_ = None
         return self
+
+    def _flat(self) -> FlatTrees:
+        """Compiled flat representation of the boosted trees (lazy)."""
+        flat = self.__dict__.get("_flat_trees_")
+        if flat is None:
+            flat = FlatTrees.from_arrays(
+                [(t.feature, t.threshold, t.left, t.right)
+                 for t in self.trees_],
+                [t.leaf_value for t in self.trees_],
+            )
+            self._flat_trees_ = flat
+        return flat
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_flat_trees_", None)
+        return state
 
     def decision_function(self, X) -> np.ndarray:
         check_is_fitted(self, "trees_")
@@ -408,10 +419,18 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 f"X has {X.shape[1]} features; model was fitted with "
                 f"{self.n_features_in_}."
             )
-        raw = np.full(X.shape[0], self.base_score_)
-        for tree in self.trees_:
-            raw += self.learning_rate * tree.predict(X)
-        return raw
+        # One batched traversal for every boosting round, then a
+        # sequential left-fold over [base_score | per-round updates] --
+        # the same float addition order as the historical per-tree
+        # ``raw += lr * tree.predict(X)`` loop, so scores are bitwise
+        # unchanged.
+        flat = self._flat()
+        contributions = self.learning_rate * flat.value[flat.apply(X)]
+        terms = np.concatenate(
+            [np.full((X.shape[0], 1), self.base_score_), contributions],
+            axis=1,
+        )
+        return np.add.accumulate(terms, axis=1)[:, -1]
 
     def predict_proba(self, X) -> np.ndarray:
         positive = 1.0 / (1.0 + np.exp(-self.decision_function(X)))

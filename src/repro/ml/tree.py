@@ -44,6 +44,7 @@ from repro.ml.base import (
     compute_sample_weight,
 )
 from repro.ml.binning import Binner
+from repro.ml.flatforest import tree_apply
 
 __all__ = ["DecisionTreeClassifier"]
 
@@ -915,23 +916,20 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.n_nodes_ = len(builder.feature)
 
     def _apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf index for every row of ``X`` (vectorized level walk)."""
-        node = np.zeros(X.shape[0], dtype=np.int64)
-        active = self.tree_feature_[node] != _LEAF
-        while np.any(active):
-            idx = np.flatnonzero(active)
-            nodes = node[idx]
-            features = self.tree_feature_[nodes]
-            go_left = X[idx, features] <= self.tree_threshold_[nodes]
-            node[idx] = np.where(
-                go_left, self.tree_left_[nodes], self.tree_right_[nodes]
-            )
-            active[idx] = self.tree_feature_[node[idx]] != _LEAF
-        return node
+        """Leaf index for every row of ``X`` (shared vectorized walk)."""
+        return tree_apply(
+            self.tree_feature_, self.tree_threshold_,
+            self.tree_left_, self.tree_right_, X,
+        )
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X, check_input: bool = True) -> np.ndarray:
         check_is_fitted(self, "tree_feature_")
-        X = check_array(X)
+        if check_input:
+            X = check_array(X)
+        else:
+            # Trusted path: the caller guarantees a validated float64
+            # 2D matrix (streaming/fleet pipelines own their buffers).
+            X = np.asarray(X, dtype=np.float64)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features; tree was fitted with "

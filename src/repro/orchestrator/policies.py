@@ -21,7 +21,7 @@ import numpy as np
 
 from repro import obs
 from repro.cluster.simulation import ClusterSimulation
-from repro.core.model import MonitorlessModel
+from repro.core.model import MonitorlessModel, predict_proba_trusted
 from repro.core.thresholds import ThresholdBaseline
 from repro.telemetry.agent import TelemetryAgent
 from repro.telemetry.catalog import CONTAINER_CHANNELS
@@ -133,7 +133,9 @@ class MonitorlessPolicy:
             batch = np.vstack(current_rows)
             classifier = self.model.classifier_
             if hasattr(classifier, "predict_proba"):
-                positive = classifier.predict_proba(batch)[:, 1]
+                # Rows come straight from the fitted pipeline; skip the
+                # per-call check_array re-validation.
+                positive = predict_proba_trusted(classifier, batch)[:, 1]
                 flags = positive >= self.model.prediction_threshold
             else:
                 flags = np.asarray(classifier.predict(batch)) == 1

@@ -351,3 +351,78 @@ class TestExactFingerprint:
             f"exact-mode output changed for {case}; the default tree_method "
             "must stay bitwise identical across releases"
         )
+
+    @pytest.fixture(scope="class")
+    def stored_proba(self):
+        return json.loads(FINGERPRINT_PATH.read_text())["proba_cases"]
+
+    @pytest.mark.parametrize(
+        "case, params, weighted",
+        [
+            ("tree_default", {"random_state": 0}, False),
+            (
+                "tree_entropy_depth8_leaf5",
+                {
+                    "criterion": "entropy",
+                    "max_depth": 8,
+                    "min_samples_leaf": 5,
+                    "random_state": 1,
+                },
+                False,
+            ),
+            ("tree_sqrt_features", {"max_features": "sqrt", "random_state": 2}, False),
+            ("tree_sample_weight", {"random_state": 3}, True),
+            ("tree_balanced", {"class_weight": "balanced", "random_state": 4}, False),
+            (
+                "tree_min_impurity",
+                {"min_impurity_decrease": 0.01, "random_state": 5},
+                False,
+            ),
+        ],
+    )
+    def test_tree_proba_cases(
+        self, fingerprint_data, stored_proba, case, params, weighted
+    ):
+        X, y, weights = fingerprint_data
+        tree = DecisionTreeClassifier(**params)
+        tree.fit(X, y, sample_weight=weights if weighted else None)
+        proba = tree.predict_proba(X)
+        digest = hashlib.sha256(
+            np.ascontiguousarray(proba).tobytes()
+        ).hexdigest()
+        assert digest == stored_proba[case], (
+            f"predict_proba output changed for {case}; the inference path "
+            "(flat traversal included) must stay bitwise identical to the "
+            "historical per-tree walk"
+        )
+
+    @pytest.mark.parametrize(
+        "case, params",
+        [
+            (
+                "forest_small",
+                {"n_estimators": 12, "min_samples_leaf": 4, "random_state": 0},
+            ),
+            (
+                "forest_entropy_leaf20",
+                {
+                    "n_estimators": 8,
+                    "min_samples_leaf": 20,
+                    "criterion": "entropy",
+                    "random_state": 7,
+                },
+            ),
+        ],
+    )
+    def test_forest_proba_cases(self, fingerprint_data, stored_proba, case, params):
+        X, y, _ = fingerprint_data
+        forest = RandomForestClassifier(**params).fit(X, y)
+        proba = forest.predict_proba(X)
+        digest = hashlib.sha256(
+            np.ascontiguousarray(proba).tobytes()
+        ).hexdigest()
+        assert digest == stored_proba[case], (
+            f"predict_proba output changed for {case}; the inference path "
+            "(flat traversal included) must stay bitwise identical to the "
+            "historical per-tree walk"
+        )
