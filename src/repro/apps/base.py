@@ -109,7 +109,7 @@ class ServiceSpec:
         return replace(self, cpu_seconds=self.cpu_seconds * factor, **changes)
 
 
-@dataclass
+@dataclass(slots=True)
 class InstanceDemand:
     """Raw per-tick resource demands of one instance, pre-arbitration."""
 
@@ -123,7 +123,7 @@ class InstanceDemand:
     ws_access_bytes: float
 
 
-@dataclass
+@dataclass(slots=True)
 class InstancePerformance:
     """Resolved per-tick performance of one instance."""
 
@@ -137,6 +137,13 @@ class InstancePerformance:
     @property
     def max_utilization(self) -> float:
         return max(self.utilizations.values())
+
+
+def _ratio(load: float, capacity: float) -> float:
+    """Utilization of one resource (load per unit of granted capacity)."""
+    if capacity <= 0.0:
+        return 0.0 if load <= 0.0 else 100.0
+    return load / capacity
 
 
 class InstanceRuntime:
@@ -183,32 +190,37 @@ class InstanceRuntime:
         """
         spec = self.spec
 
-        def ratio(load: float, capacity: float) -> float:
-            if capacity <= 0.0:
-                return 0.0 if load <= 0.0 else 100.0
-            return load / capacity
-
+        util_cpu = _ratio(demand.cpu_cores, cpu_capacity)
+        util_disk = _ratio(demand.disk_bytes, disk_capacity)
+        util_queue = demand.serial_io + _ratio(
+            demand.random_disk_bytes, random_disk_capacity
+        )
+        util_net = _ratio(demand.network_bytes, network_capacity)
+        util_membw = _ratio(
+            demand.memory_bandwidth_bytes, memory_bandwidth_capacity
+        )
         utilizations = {
-            Resource.CPU: ratio(demand.cpu_cores, cpu_capacity),
-            Resource.DISK_BANDWIDTH: ratio(demand.disk_bytes, disk_capacity),
-            Resource.DISK_QUEUE: demand.serial_io
-            + ratio(demand.random_disk_bytes, random_disk_capacity),
-            Resource.NETWORK: ratio(demand.network_bytes, network_capacity),
-            Resource.MEMORY_BANDWIDTH: ratio(
-                demand.memory_bandwidth_bytes, memory_bandwidth_capacity
-            ),
+            Resource.CPU: util_cpu,
+            Resource.DISK_BANDWIDTH: util_disk,
+            Resource.DISK_QUEUE: util_queue,
+            Resource.NETWORK: util_net,
+            Resource.MEMORY_BANDWIDTH: util_membw,
             Resource.MEMORY: memory_utilization / 100.0,
         }
         # MEMORY utilization is a state, not a processing rate: it does not
         # cap throughput by itself (its effects arrive via page-in traffic),
-        # so exclude it from the rate bottleneck.
-        rate_utils = {
-            resource: value
-            for resource, value in utilizations.items()
-            if resource != Resource.MEMORY
-        }
-        bottleneck = max(rate_utils, key=rate_utils.get)
-        rho = rate_utils[bottleneck]
+        # so exclude it from the rate bottleneck.  Ties keep the earliest
+        # resource in declaration order, as dict-iteration max() did.
+        bottleneck = Resource.CPU
+        rho = util_cpu
+        if util_disk > rho:
+            bottleneck, rho = Resource.DISK_BANDWIDTH, util_disk
+        if util_queue > rho:
+            bottleneck, rho = Resource.DISK_QUEUE, util_queue
+        if util_net > rho:
+            bottleneck, rho = Resource.NETWORK, util_net
+        if util_membw > rho:
+            bottleneck, rho = Resource.MEMORY_BANDWIDTH, util_membw
 
         served = demand.arrival_rate + self.queue.backlog
         if rho > 0.0 and served > 0.0:
@@ -272,11 +284,14 @@ class ApplicationModel:
             performances = per_service.get(name, [])
             if not performances:
                 raise ValueError(f"No instances reported for service {name}.")
-            service_throughput = sum(p.throughput for p in performances)
-            service_dropped = sum(p.dropped for p in performances)
-            mean_response = sum(
-                p.response_time * max(p.throughput, 1e-9) for p in performances
-            ) / max(service_throughput, 1e-9)
+            service_throughput = 0.0
+            service_dropped = 0.0
+            weighted_response = 0.0
+            for p in performances:
+                service_throughput += p.throughput
+                service_dropped += p.dropped
+                weighted_response += p.response_time * max(p.throughput, 1e-9)
+            mean_response = weighted_response / max(service_throughput, 1e-9)
             throughput = min(throughput, service_throughput / spec.visits)
             response_time += spec.visits * mean_response
             dropped = max(dropped, service_dropped / spec.visits)

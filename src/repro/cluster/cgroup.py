@@ -23,7 +23,7 @@ __all__ = ["CpuCgroup", "MemoryCgroup", "CFS_PERIODS_PER_SECOND"]
 CFS_PERIODS_PER_SECOND = 10  # Linux default: 100 ms CFS periods
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuAccounting:
     """Per-tick CPU accounting snapshot."""
 
@@ -90,7 +90,7 @@ class CpuCgroup:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccounting:
     """Per-tick memory accounting snapshot."""
 

@@ -14,7 +14,7 @@ from repro.cluster.cgroup import CpuAccounting, CpuCgroup, MemoryAccounting, Mem
 __all__ = ["Container", "ContainerTick"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ContainerTick:
     """Everything observable about one container in one 1-second tick."""
 

@@ -98,6 +98,9 @@ class ClusterSimulation:
         self.clock = 0
         self._kpis: dict[str, dict[str, list[float]]] = {}
         self._container_seq = 0
+        #: Bumped on every replica add/remove; lets observers skip
+        #: membership reconciliation when nothing changed.
+        self.membership_version = 0
 
     # ------------------------------------------------------------------
     # Deployment management
@@ -152,6 +155,7 @@ class ClusterSimulation:
             service=service,
         )
         deployment.instances.setdefault(service, []).append(instance)
+        self.membership_version += 1
         return container
 
     def remove_replica(self, application: str, service: str) -> None:
@@ -162,6 +166,7 @@ class ClusterSimulation:
             raise ValueError(f"Service {service} must keep at least one replica.")
         instance = replicas.pop()
         self.nodes[instance.container.node].remove_container(instance.container)
+        self.membership_version += 1
 
     def replica_counts(self, application: str) -> dict[str, int]:
         deployment = self.deployments[application]
@@ -177,9 +182,9 @@ class ClusterSimulation:
             raise ValueError(f"Arrivals for undeployed applications: {sorted(unknown)}.")
 
         # Pass 1: per-instance arrivals, demands and memory accounting.
-        all_instances: list[_Instance] = []
+        all_records: list[tuple] = []
+        by_node: dict[str, list[_Instance]] = {}
         demands = {}
-        memory = {}
         for app_name, deployment in self.deployments.items():
             app_arrival = float(arrivals.get(app_name, 0.0))
             for service, replicas in deployment.instances.items():
@@ -208,97 +213,110 @@ class ClusterSimulation:
                         thrash_bytes * spec.paged_io_random_fraction
                     )
                     demands[instance.container.name] = demand
-                    memory[instance.container.name] = mem_account
-                    all_instances.append(instance)
+                    all_records.append((instance, demand, mem_account))
+                    by_node.setdefault(instance.container.node, []).append(
+                        instance
+                    )
 
         # Pass 2: arbitrate shared resources per node.  Each container's
         # usable capacity is its fair-share grant plus the node's idle
         # headroom (work-conserving scheduling): on an idle node a
         # container can burst to the full resource, under contention it
         # is squeezed to its proportional share.
-        shares: dict[str, dict[str, float]] = {}
+        shares: dict[str, tuple] = {}
         for node in self.nodes.values():
-            members = [
-                inst for inst in all_instances if inst.container.node == node.name
-            ]
+            members = by_node.get(node.name)
             if not members:
                 continue
-            quotas = np.array(
-                [
-                    inst.container.cpu_cgroup.quota_cores
-                    if inst.container.cpu_cgroup.quota_cores is not None
-                    else float(node.spec.cores)
-                    for inst in members
+            member_demands = [demands[inst.container.name] for inst in members]
+            quotas = [
+                inst.container.cpu_cgroup.quota_cores
+                if inst.container.cpu_cgroup.quota_cores is not None
+                else float(node.spec.cores)
+                for inst in members
+            ]
+            if len(members) < 8:
+                # Scalar arbitration: bitwise-identical to the array path
+                # below (numpy sums small arrays with the same sequential
+                # accumulation), without per-node array construction.
+                cpu_capacity = _work_conserving_scalar(
+                    [
+                        d.cpu_cores if d.cpu_cores < q else q
+                        for d, q in zip(member_demands, quotas)
+                    ],
+                    float(node.spec.cores),
+                )
+                cpu_capacity = [
+                    c if c < q else q for c, q in zip(cpu_capacity, quotas)
                 ]
-            )
-            raw_cpu = np.array(
-                [demands[inst.container.name].cpu_cores for inst in members]
-            )
-            cpu_capacity = _work_conserving_capacity(
-                np.minimum(raw_cpu, quotas), float(node.spec.cores)
-            )
-            cpu_capacity = np.minimum(cpu_capacity, quotas)
-
-            disk_demand = np.array(
-                [
-                    demands[inst.container.name].disk_bytes
-                    for inst in members
-                ]
-            )
-            disk_capacity = _work_conserving_capacity(
-                disk_demand, node.spec.disk_bandwidth
-            )
-            random_demand = np.array(
-                [demands[inst.container.name].random_disk_bytes for inst in members]
-            )
-            random_capacity = _work_conserving_capacity(
-                random_demand, node.spec.disk_random_bandwidth
-            )
-            net_demand = np.array(
-                [demands[inst.container.name].network_bytes for inst in members]
-            )
-            net_capacity = _work_conserving_capacity(
-                net_demand, node.spec.network_bandwidth
-            )
-            membw_demand = np.array(
-                [
-                    demands[inst.container.name].memory_bandwidth_bytes
-                    for inst in members
-                ]
-            )
-            membw_capacity = _work_conserving_capacity(
-                membw_demand, node.spec.memory_bandwidth
-            )
+                disk_capacity = _work_conserving_scalar(
+                    [d.disk_bytes for d in member_demands],
+                    node.spec.disk_bandwidth,
+                )
+                random_capacity = _work_conserving_scalar(
+                    [d.random_disk_bytes for d in member_demands],
+                    node.spec.disk_random_bandwidth,
+                )
+                net_capacity = _work_conserving_scalar(
+                    [d.network_bytes for d in member_demands],
+                    node.spec.network_bandwidth,
+                )
+                membw_capacity = _work_conserving_scalar(
+                    [d.memory_bandwidth_bytes for d in member_demands],
+                    node.spec.memory_bandwidth,
+                )
+            else:
+                quota_arr = np.array(quotas)
+                raw_cpu = np.array([d.cpu_cores for d in member_demands])
+                cpu_capacity = _work_conserving_capacity(
+                    np.minimum(raw_cpu, quota_arr), float(node.spec.cores)
+                )
+                cpu_capacity = np.minimum(cpu_capacity, quota_arr)
+                disk_capacity = _work_conserving_capacity(
+                    np.array([d.disk_bytes for d in member_demands]),
+                    node.spec.disk_bandwidth,
+                )
+                random_capacity = _work_conserving_capacity(
+                    np.array([d.random_disk_bytes for d in member_demands]),
+                    node.spec.disk_random_bandwidth,
+                )
+                net_capacity = _work_conserving_capacity(
+                    np.array([d.network_bytes for d in member_demands]),
+                    node.spec.network_bandwidth,
+                )
+                membw_capacity = _work_conserving_capacity(
+                    np.array([d.memory_bandwidth_bytes for d in member_demands]),
+                    node.spec.memory_bandwidth,
+                )
             for i, inst in enumerate(members):
-                shares[inst.container.name] = {
-                    "cpu": cpu_capacity[i],
-                    "disk": disk_capacity[i],
-                    "random_disk": random_capacity[i],
-                    "net": net_capacity[i],
-                    "membw": membw_capacity[i],
-                }
+                shares[inst.container.name] = (
+                    cpu_capacity[i],
+                    disk_capacity[i],
+                    random_capacity[i],
+                    net_capacity[i],
+                    membw_capacity[i],
+                )
 
         # Pass 3: resolve performance and record container ticks.
         per_app_service: dict[str, dict[str, list]] = {
             app: {service: [] for service in dep.instances}
             for app, dep in self.deployments.items()
         }
-        for instance in all_instances:
-            name = instance.container.name
-            demand = demands[name]
-            mem_account = memory[name]
-            share = shares[name]
+        for instance, demand, mem_account in all_records:
+            cpu, disk, random_disk, net, membw = shares[
+                instance.container.name
+            ]
             performance = instance.runtime.resolve(
                 demand,
-                cpu_capacity=share["cpu"],
-                disk_capacity=share["disk"],
-                random_disk_capacity=share["random_disk"],
-                network_capacity=share["net"],
-                memory_bandwidth_capacity=share["membw"],
+                cpu_capacity=cpu,
+                disk_capacity=disk,
+                random_disk_capacity=random_disk,
+                network_capacity=net,
+                memory_bandwidth_capacity=membw,
                 memory_utilization=mem_account.limit_utilization,
             )
             cpu_account = instance.container.cpu_cgroup.account(
-                demand.cpu_cores, share["cpu"]
+                demand.cpu_cores, cpu
             )
             spec = instance.runtime.spec
             tick = ContainerTick(
@@ -314,7 +332,7 @@ class ClusterSimulation:
                 throughput=performance.throughput,
                 response_time=performance.response_time,
                 dropped=performance.dropped,
-                bottleneck=str(performance.bottleneck),
+                bottleneck=performance.bottleneck.value,
                 max_utilization=performance.max_utilization,
             )
             instance.container.record(tick)
@@ -377,3 +395,28 @@ def _work_conserving_capacity(demands: np.ndarray, total: float) -> np.ndarray:
     granted = fair_share(demands, total)
     idle = max(0.0, total - float(granted.sum()))
     return granted + idle
+
+
+def _work_conserving_scalar(demands: list, total: float) -> list:
+    """Scalar twin of :func:`_work_conserving_capacity` for short groups.
+
+    Accumulates sums left to right starting from zero, exactly as numpy
+    does for arrays shorter than eight elements, so every result is
+    bitwise-equal to the array path.
+    """
+    subscribed = 0.0
+    for demand in demands:
+        if demand < 0:
+            raise ValueError("Demands must be non-negative.")
+        subscribed += demand
+    if subscribed <= total or subscribed == 0.0:
+        granted = demands
+        granted_sum = subscribed
+    else:
+        ratio = total / subscribed
+        granted = [demand * ratio for demand in demands]
+        granted_sum = 0.0
+        for grant in granted:
+            granted_sum += grant
+    idle = max(0.0, total - granted_sum)
+    return [grant + idle for grant in granted]

@@ -23,6 +23,7 @@ still complete and bitwise deterministic.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -243,6 +244,9 @@ class FleetShardResult:
     #: Tick the shard was resumed from after a worker loss (None when
     #: the shard ran start-to-finish in one process).
     resumed_from_tick: int | None = None
+    #: Cumulative wall-clock seconds per serving phase (simulate /
+    #: telemetry / features / predict / policy) for this shard.
+    phase_seconds: dict = field(default_factory=dict)
 
 
 class FleetShardRunner:
@@ -281,14 +285,19 @@ class FleetShardRunner:
 
     def tick(self, rates) -> None:
         """One fleet second: step all cells, decide once, scale each."""
+        started = time.perf_counter()
         for cell, rate in zip(self.cells, rates):
             cell.simulation.step({cell.application: float(rate)})
+        self.policy.phase_seconds["simulate"] += (
+            time.perf_counter() - started
+        )
         saturated = self.policy.saturated_services(self._t)
+        by_namespace: dict[str, set] = {}
+        for namespace, service in saturated:
+            by_namespace.setdefault(namespace, set()).add(service)
+        empty: set = set()
         for index, cell in enumerate(self.cells):
-            cell_saturated = {
-                service for namespace, service in saturated
-                if namespace == cell.namespace
-            }
+            cell_saturated = by_namespace.get(cell.namespace, empty)
             cell.autoscaler.act(cell_saturated, self._t)
             self._extra[index].append(cell.autoscaler.extra_replicas)
         self.decisions.append(tuple(sorted(saturated)))
@@ -330,6 +339,7 @@ class FleetShardRunner:
                 "classifier_errors": self.policy.classifier_errors,
             },
             resumed_from_tick=self.resumed_from_tick,
+            phase_seconds=dict(self.policy.phase_seconds),
         )
 
 

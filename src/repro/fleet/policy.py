@@ -23,6 +23,7 @@ rollup keys; a deployment is saturated when any replica row flags.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,6 +57,9 @@ class _Cell:
     agent: object
     secondary: object | None = None
     pods: set[str] = field(default_factory=set)
+    #: ``simulation.membership_version`` at the last reconciliation;
+    #: lets :meth:`FleetPolicy._sync_cell` skip untouched cells.
+    synced_version: int = -1
 
 
 class FleetPolicy:
@@ -108,6 +112,17 @@ class FleetPolicy:
         self.failsafe_entries = 0
         self.failsafe_ticks = 0
         self.classifier_errors = 0
+        #: Cumulative wall-clock seconds per serving phase (simulation
+        #: stepping -- filled by the shard runner -- telemetry
+        #: synthesis, feature-pipeline pushes, classifier prediction,
+        #: and the remaining policy bookkeeping).
+        self.phase_seconds = {
+            "simulate": 0.0,
+            "telemetry": 0.0,
+            "features": 0.0,
+            "predict": 0.0,
+            "policy": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Cells and membership
@@ -128,6 +143,9 @@ class FleetPolicy:
             self._sync_cell(cell)
 
     def _sync_cell(self, cell: _Cell) -> None:
+        version = getattr(cell.simulation, "membership_version", None)
+        if version is not None and version == cell.synced_version:
+            return
         deployment = cell.simulation.deployments[cell.application]
         live = {
             instance.container.name
@@ -167,6 +185,8 @@ class FleetPolicy:
             self._streak[row] = 0
             self._judged[row] = False
         cell.pods = live
+        if version is not None:
+            cell.synced_version = version
 
     def _grow(self, capacity: int) -> None:
         self.telemetry.grow(capacity)
@@ -224,22 +244,45 @@ class FleetPolicy:
     def saturated_services(self, t: int) -> set[tuple[str, str]]:
         """Saturated ``(namespace, deployment)`` keys at tick ``t``."""
         with obs.trace("policy.fleet"):
+            tick_started = time.perf_counter()
+            telemetry_s = features_s = predict_s = 0.0
             self.sync()
             telemetry = self.telemetry
             telemetry.begin_tick()
             while True:
+                started = time.perf_counter()
                 emitted = telemetry.advance_round()
+                telemetry_s += time.perf_counter() - started
                 if emitted.size == 0:
                     break
-                self.features.push_rows(
-                    emitted,
-                    telemetry.raw[emitted],
-                    telemetry.completeness[emitted],
-                )
+                started = time.perf_counter()
+                # ``emitted`` is sorted; when it is also dense (the
+                # steady state: every live row emits each round) a slice
+                # view of the fleet matrix replaces the fancy-index copy.
+                lo, hi = int(emitted[0]), int(emitted[-1]) + 1
+                if hi - lo == emitted.size:
+                    raw_block = telemetry.raw[lo:hi]
+                    completeness_block = telemetry.completeness[lo:hi]
+                else:
+                    raw_block = telemetry.raw[emitted]
+                    completeness_block = telemetry.completeness[emitted]
+                self.features.push_rows(emitted, raw_block, completeness_block)
+                features_s += time.perf_counter() - started
 
-            primary: list[int] = []
+            # Rows that just emitted a *recorded* tick on the fast path
+            # satisfy every per-row precondition by construction (they
+            # have samples, never fault, staleness 0), so the whole
+            # partition reduces to mask arithmetic; anything else --
+            # compat rows, caught-up rows, placeholder emissions --
+            # walks the reference checks row by row.
+            live = np.asarray(self.index.live_rows(), dtype=np.intp)
+            fast_ok = (
+                telemetry.emitted_mask[live] & telemetry.recorded_mask[live]
+            )
             demoted: list[int] = []
-            for row in self.index.live_rows():
+            slow_primary: list[int] = []
+            for row in live[~fast_ok]:
+                row = int(row)
                 container = telemetry.container_at(row)
                 if telemetry.row_end(row) <= container.created_at:
                     continue  # no samples yet
@@ -254,12 +297,17 @@ class FleetPolicy:
                 ):
                     demoted.append(row)
                     continue
-                primary.append(row)
+                slow_primary.append(row)
 
-            primary_rows = np.asarray(primary, dtype=np.intp)
+            primary_rows = np.concatenate([
+                live[fast_ok & self.features.has_features[live]],
+                np.asarray(slow_primary, dtype=np.intp),
+            ])
+            primary_rows.sort()
             saturated: set[tuple[str, str]] = set()
             flags = None
             if primary_rows.size:
+                started = time.perf_counter()
                 try:
                     flags = self._classify(primary_rows)
                 except Exception:
@@ -267,13 +315,15 @@ class FleetPolicy:
                     # candidate falls through to the secondary.
                     self.classifier_errors += 1
                     obs.inc("fleet.classifier_errors")
-                    demoted.extend(primary)
+                    demoted.extend(int(row) for row in primary_rows)
                 else:
                     self._record_primary(primary_rows)
+                predict_s += time.perf_counter() - started
             if flags is not None:
-                for row, flag in zip(primary, flags):
+                member_at = self.index.member_at
+                for row, flag in zip(primary_rows, flags):
                     if flag:
-                        saturated.add(self.index.member_at(row).rollup_key)
+                        saturated.add(member_at(int(row)).rollup_key)
 
             secondary_rows: list[int] = []
             failsafe_rows: list[int] = []
@@ -301,6 +351,14 @@ class FleetPolicy:
             self._record_secondary(np.asarray(secondary_rows, dtype=np.intp))
             self._record_failsafe(np.asarray(failsafe_rows, dtype=np.intp))
             self._export_gauges()
+            phase = self.phase_seconds
+            phase["telemetry"] += telemetry_s
+            phase["features"] += features_s
+            phase["predict"] += predict_s
+            phase["policy"] += (
+                time.perf_counter() - tick_started
+                - telemetry_s - features_s - predict_s
+            )
         return saturated
 
     def _classify(self, rows: np.ndarray) -> np.ndarray:

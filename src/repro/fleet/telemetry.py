@@ -6,18 +6,27 @@ one ``(n_rows, n_metrics)`` float64 matrix written in place each tick,
 plus a per-row completeness vector in place of per-stream flags.  Two
 row kinds coexist:
 
-- **fast rows** (plain :class:`~repro.telemetry.agent.TelemetryAgent`):
-  synthesis state is held directly as ``_ScopeStream`` objects, and
-  rows that share ``(namespace, node, start)`` share one *host* scope
-  stream.  This is bitwise-exact: the reference per-container streams
-  seed their host RNG with ``(node.name, start)`` only, so containers
-  on the same node opened at the same tick draw identical host rows --
-  the fleet path synthesizes that row once per group instead of once
-  per container.
+- **fast rows** (plain :class:`~repro.telemetry.agent.TelemetryAgent`
+  sharing this stream's catalog): synthesis state lives in
+  struct-of-arrays buffers -- per-row RNG streams, counter
+  accumulators and previous-cumulative rows aligned with the matrix
+  row axis, and per *host group* (rows sharing ``(namespace, node,
+  start)``) the shared host stream state.  Every tick a single batched
+  kernel gathers each group's container tick fields once, computes all
+  host states with segment-ordered vector accumulation, synthesizes
+  every stream's metrics through
+  :meth:`~repro.telemetry.catalog.MetricCatalog.synthesize_rows`, and
+  converts counters to rates across the whole row axis.  This is
+  bitwise-exact against the per-container reference streams: the state
+  math replicates the scalar arithmetic op for op
+  (:mod:`repro.telemetry.synthesis`), each stream's RNG draws happen
+  in its own generator in the exact per-tick order, and the
+  counter/rate recurrences are elementwise per stream.
 - **compat rows** (wrapped agents -- ``MetricDropout``, ``ChaosAgent``,
-  ``ResilientTelemetry``): the wrapper's own stream object is kept and
-  stepped row-wise, so fault injection, retry/LOCF imputation and
-  staleness accounting behave identically to the per-container path.
+  ``ResilientTelemetry`` -- or agents with a foreign catalog): the
+  wrapper's own stream object is kept and stepped row-wise, so fault
+  injection, retry/LOCF imputation and staleness accounting behave
+  identically to the per-container path.
 
 Emission is *rounds-based* to mirror ``_ContainerStream.catch_up``:
 each :meth:`advance_round` advances every behind, unfaulted row by
@@ -31,43 +40,18 @@ all the reference semantics require.
 
 from __future__ import annotations
 
-import numpy as np
+from bisect import bisect_left
 
+import numpy as np
+from numpy.random import PCG64, Generator
+
+from repro import obs
 from repro.reliability.telemetry import TelemetryFault
+from repro.telemetry import synthesis
 from repro.telemetry.agent import TelemetryAgent, _stream_seed
 from repro.telemetry.catalog import MetricCatalog
-from repro.telemetry.stream import _ScopeStream
 
 __all__ = ["FleetTelemetryStream"]
-
-
-class _HostGroup:
-    """Shared host-scope synthesis for rows with equal (namespace,
-    node, start) -- they draw bitwise-identical host sequences."""
-
-    __slots__ = ("agent", "node", "host", "clock", "members")
-
-    def __init__(self, agent, node, start: int):
-        self.agent = agent
-        self.node = node
-        self.host = _ScopeStream(
-            agent.catalog,
-            agent.catalog.host,
-            np.random.default_rng(
-                _stream_seed(agent.seed, f"host:{node.name}:{start}")
-            ),
-            agent.convert_counters,
-        )
-        self.clock = start
-        self.members: set[int] = set()
-
-
-class _FastRow:
-    __slots__ = ("scope", "group_key")
-
-    def __init__(self, scope, group_key):
-        self.scope = scope
-        self.group_key = group_key
 
 
 class FleetTelemetryStream:
@@ -82,12 +66,57 @@ class FleetTelemetryStream:
         self.raw = np.zeros((capacity, self.n_metrics))
         self.completeness = np.ones(capacity)
         self._containers: dict[int, object] = {}
-        self._fast: dict[int, _FastRow] = {}
         self._compat: dict[int, object] = {}
-        self._groups: dict[tuple[str, str, int], _HostGroup] = {}
         #: Rows whose emission faulted during the current tick, mapped
         #: to the fault (cleared by :meth:`begin_tick`).
         self.faulted: dict[int, TelemetryFault] = {}
+        #: Rows on the batched fast path (vs compat stream objects).
+        self.fast_mask = np.zeros(capacity, dtype=bool)
+        #: Rows emitted during the current tick (any round).
+        self.emitted_mask = np.zeros(capacity, dtype=bool)
+        #: Fast rows whose latest emission came from a *recorded*
+        #: simulation tick (vs the all-zero placeholder for a member
+        #: whose own history does not cover the group clock).  Lets the
+        #: policy's vectorized partition prove ``row_end > created_at``
+        #: without touching container objects.
+        self.recorded_mask = np.zeros(capacity, dtype=bool)
+
+        # --- fast-path row axis (aligned with ``raw``) -----------------
+        n_ctr_c = catalog.spec_arrays(catalog.container).counter_idx.size
+        self._n_ctr_container = n_ctr_c
+        self._row_group = np.full(capacity, -1, dtype=np.int64)
+        self._row_rng: dict[int, np.random.Generator] = {}
+        self._row_accum = np.zeros((capacity, n_ctr_c))
+        self._row_prev = np.zeros((capacity, n_ctr_c))
+        self._row_has_prev = np.zeros(capacity, dtype=bool)
+        self._row_convert = np.zeros(capacity, dtype=bool)
+        # Effective cpu allocation (quota or node cores); quotas are
+        # immutable after construction, so caching is exact.
+        self._row_alloc = np.zeros(capacity)
+
+        # --- fast-path host-group axis (slot-indexed) ------------------
+        n_ctr_h = catalog.spec_arrays(catalog.host).counter_idx.size
+        self._n_ctr_host = n_ctr_h
+        self._group_slots: dict[tuple[str, str, int], int] = {}
+        self._grp_key: list[tuple | None] = []
+        self._grp_node: list[object | None] = []
+        self._grp_rng: list[np.random.Generator | None] = []
+        self._grp_members: list[list[int]] = []
+        self._grp_containers: list[list] = []
+        self._grp_clock: list[int] = []
+        self._grp_convert: list[bool] = []
+        self._grp_accum = np.zeros((0, n_ctr_h))
+        self._grp_prev = np.zeros((0, n_ctr_h))
+        self._grp_has_prev = np.zeros(0, dtype=bool)
+        self._grp_free: list[int] = []
+        # Sorted (key, slot) scan order, rebuilt lazily after group
+        # creation/retirement (key order fixes the cross-group RNG-free
+        # iteration order deterministically).
+        self._scan: list[tuple] | None = None
+
+        # Reused per-tick scratch buffers (reallocated only when the
+        # active batch size changes).
+        self._scratch: dict[str, np.ndarray] = {}
 
     @property
     def capacity(self) -> int:
@@ -96,12 +125,32 @@ class FleetTelemetryStream:
     def grow(self, capacity: int) -> None:
         if capacity <= self.capacity:
             return
-        raw = np.zeros((capacity, self.n_metrics))
-        raw[: self.capacity] = self.raw
-        completeness = np.ones(capacity)
-        completeness[: self.capacity] = self.completeness
-        self.raw = raw
-        self.completeness = completeness
+        old = self.capacity
+        for name, fill, dtype in (
+            ("completeness", 1.0, np.float64),
+            ("fast_mask", False, bool),
+            ("emitted_mask", False, bool),
+            ("recorded_mask", False, bool),
+            ("_row_has_prev", False, bool),
+            ("_row_convert", False, bool),
+        ):
+            fresh = np.full(capacity, fill, dtype=dtype)
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        fresh_alloc = np.zeros(capacity)
+        fresh_alloc[:old] = self._row_alloc
+        self._row_alloc = fresh_alloc
+        for name, width in (
+            ("raw", self.n_metrics),
+            ("_row_accum", self._n_ctr_container),
+            ("_row_prev", self._n_ctr_container),
+        ):
+            fresh = np.zeros((capacity, width))
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        row_group = np.full(capacity, -1, dtype=np.int64)
+        row_group[:old] = self._row_group
+        self._row_group = row_group
 
     # ------------------------------------------------------------------
     # Membership
@@ -110,49 +159,109 @@ class FleetTelemetryStream:
                 nodes: dict) -> None:
         """Attach synthesis state for ``container`` to matrix ``row``.
 
-        Plain :class:`TelemetryAgent` instances take the grouped fast
-        path; any wrapper keeps its own per-row stream object so its
-        fault/imputation semantics are preserved bit for bit.
+        Plain :class:`TelemetryAgent` instances sharing this stream's
+        catalog take the grouped fast path; anything else keeps its own
+        per-row stream object so its fault/imputation semantics are
+        preserved bit for bit.
         """
         if row in self._containers:
             raise ValueError(f"Row {row} is already occupied.")
         self._containers[row] = container
-        if type(agent) is TelemetryAgent:
+        if type(agent) is TelemetryAgent and agent.catalog is self.catalog:
             start = container.created_at
             node = nodes[container.node]
             key = (namespace, node.name, start)
-            group = self._groups.get(key)
-            if group is None:
-                group = self._groups[key] = _HostGroup(agent, node, start)
-            group.members.add(row)
-            scope = _ScopeStream(
-                agent.catalog,
-                agent.catalog.container,
-                np.random.default_rng(
-                    _stream_seed(
-                        agent.seed, f"container:{container.name}:{start}"
-                    )
-                ),
-                agent.convert_counters,
+            slot = self._group_slots.get(key)
+            if slot is None:
+                slot = self._new_group(key, agent, node, start)
+            members = self._grp_members[slot]
+            position = bisect_left(members, row)
+            members.insert(position, row)
+            self._grp_containers[slot].insert(position, container)
+            self._row_group[row] = slot
+            # Generator(PCG64(seed)) is the same construction
+            # default_rng(seed) performs, minus dispatch overhead; the
+            # bit streams are identical.
+            self._row_rng[row] = Generator(PCG64(
+                _stream_seed(agent.seed, f"container:{container.name}:{start}")
+            ))
+            self._row_accum[row] = 0.0
+            self._row_prev[row] = 0.0
+            self._row_has_prev[row] = False
+            self._row_convert[row] = agent.convert_counters
+            quota = container.cpu_cgroup.quota_cores
+            self._row_alloc[row] = (
+                quota if quota is not None else float(node.spec.cores)
             )
-            self._fast[row] = _FastRow(scope, key)
+            self.fast_mask[row] = True
         else:
             self._compat[row] = agent.open_stream(
                 container, nodes, history=self.history
             )
         self.completeness[row] = 1.0
+        self.emitted_mask[row] = False
+
+    def _new_group(self, key, agent, node, start: int) -> int:
+        rng = Generator(PCG64(
+            _stream_seed(agent.seed, f"host:{node.name}:{start}")
+        ))
+        if self._grp_free:
+            slot = self._grp_free.pop()
+            self._grp_key[slot] = key
+            self._grp_node[slot] = node
+            self._grp_rng[slot] = rng
+            self._grp_members[slot] = []
+            self._grp_containers[slot] = []
+            self._grp_clock[slot] = start
+            self._grp_convert[slot] = agent.convert_counters
+        else:
+            slot = len(self._grp_key)
+            self._grp_key.append(key)
+            self._grp_node.append(node)
+            self._grp_rng.append(rng)
+            self._grp_members.append([])
+            self._grp_containers.append([])
+            self._grp_clock.append(start)
+            self._grp_convert.append(agent.convert_counters)
+            if slot >= self._grp_accum.shape[0]:
+                cap = max(16, 2 * self._grp_accum.shape[0])
+                for name in ("_grp_accum", "_grp_prev"):
+                    fresh = np.zeros((cap, self._n_ctr_host))
+                    fresh[: getattr(self, name).shape[0]] = getattr(self, name)
+                    setattr(self, name, fresh)
+                has_prev = np.zeros(cap, dtype=bool)
+                has_prev[: self._grp_has_prev.shape[0]] = self._grp_has_prev
+                self._grp_has_prev = has_prev
+        self._grp_accum[slot] = 0.0
+        self._grp_prev[slot] = 0.0
+        self._grp_has_prev[slot] = False
+        self._group_slots[key] = slot
+        self._scan = None
+        return slot
 
     def retire_row(self, row: int) -> None:
         self._containers.pop(row)
-        fast = self._fast.pop(row, None)
-        if fast is not None:
-            group = self._groups[fast.group_key]
-            group.members.discard(row)
-            if not group.members:
-                del self._groups[fast.group_key]
+        slot = int(self._row_group[row])
+        if slot >= 0:
+            self._row_group[row] = -1
+            self._row_rng.pop(row, None)
+            self.fast_mask[row] = False
+            members = self._grp_members[slot]
+            position = members.index(row)
+            members.pop(position)
+            self._grp_containers[slot].pop(position)
+            if not members:
+                del self._group_slots[self._grp_key[slot]]
+                self._grp_key[slot] = None
+                self._grp_node[slot] = None
+                self._grp_rng[slot] = None
+                self._grp_free.append(slot)
+                self._scan = None
         else:
             self._compat.pop(row, None)
         self.faulted.pop(row, None)
+        self.emitted_mask[row] = False
+        self.recorded_mask[row] = False
 
     # ------------------------------------------------------------------
     # Per-row introspection (used by the fleet policy)
@@ -165,7 +274,7 @@ class FleetTelemetryStream:
         stream = self._compat.get(row)
         if stream is not None:
             return stream.clock
-        return self._groups[self._fast[row].group_key].clock
+        return self._grp_clock[int(self._row_group[row])]
 
     def row_end(self, row: int) -> int:
         """One past the last recorded simulation tick for the row."""
@@ -182,8 +291,10 @@ class FleetTelemetryStream:
     # Emission
     # ------------------------------------------------------------------
     def begin_tick(self) -> None:
-        """Reset per-tick fault state before the first round."""
+        """Reset per-tick fault/emission state before the first round."""
         self.faulted.clear()
+        self.emitted_mask[:] = False
+        self.recorded_mask[:] = False
 
     def advance_round(self) -> np.ndarray:
         """Advance every behind, unfaulted row by exactly one tick.
@@ -192,39 +303,7 @@ class FleetTelemetryStream:
         and returns their indices (ascending).  An empty result means
         the whole fleet is caught up for this tick.
         """
-        emitted: list[int] = []
-        host_state_cache: dict[tuple[str, str, int], np.ndarray] = {}
-        for key in sorted(self._groups):
-            group = self._groups[key]
-            rows = sorted(group.members)
-            anchor = self._containers[rows[0]]
-            end = anchor.created_at + len(anchor.history)
-            if group.clock >= end:
-                continue
-            t = group.clock
-            if anchor.tick_at(t) is None:
-                raise ValueError(
-                    f"Container {anchor.name} has no recorded tick {t}; "
-                    "advance the simulation before emitting."
-                )
-            state_key = (key[0], key[1], t)
-            host_state = host_state_cache.get(state_key)
-            if host_state is None:
-                host_state = group.agent.host_state(group.node, t, t + 1)[0]
-                host_state_cache[state_key] = host_state
-            host_row = group.host.step(host_state)
-            for row in rows:
-                container = self._containers[row]
-                container_state = group.agent.container_state(
-                    container, group.node, t, t + 1
-                )[0]
-                self.raw[row, : self.n_host] = host_row
-                self.raw[row, self.n_host:] = self._fast[row].scope.step(
-                    container_state
-                )
-                self.completeness[row] = 1.0
-                emitted.append(row)
-            group.clock = t + 1
+        emitted = self._advance_fast()
         for row in sorted(self._compat):
             if row in self.faulted:
                 continue
@@ -241,4 +320,219 @@ class FleetTelemetryStream:
             self.completeness[row] = stream.tail.last_completeness()
             emitted.append(row)
         emitted.sort()
-        return np.asarray(emitted, dtype=np.intp)
+        rows = np.asarray(emitted, dtype=np.intp)
+        self.emitted_mask[rows] = True
+        return rows
+
+    def _advance_fast(self) -> list[int]:
+        """One batched synthesis pass over every behind fast group."""
+        scan = self._scan
+        if scan is None:
+            scan = self._scan = sorted(self._group_slots.items())
+        active: list[int] = []
+        clocks = self._grp_clock
+        grp_containers = self._grp_containers
+        for _key, slot in scan:
+            anchor = grp_containers[slot][0]
+            t = clocks[slot]
+            if t >= anchor.created_at + len(anchor.history):
+                continue
+            if t < anchor.created_at:
+                raise ValueError(
+                    f"Container {anchor.name} has no recorded tick {t}; "
+                    "advance the simulation before emitting."
+                )
+            active.append(slot)
+        if not active:
+            return []
+        with obs.trace("fleet.synthesize"):
+            rows = self._synthesize_groups(active)
+        obs.inc("telemetry.rows_emitted", float(len(rows)))
+        return rows
+
+    def _synthesize_groups(self, active: list[int]) -> list[int]:
+        catalog = self.catalog
+
+        # --- gather: one pass over each unique (namespace, node, tick) -
+        # Rows of different groups can share a node's host *state* (not
+        # its host RNG stream) when their namespaces and clocks match;
+        # the reference path deduplicates identically.
+        entries: dict[tuple[str, str, int], int] = {}
+        entry_nodes: list[object] = []
+        entry_pairs: list[list[int]] = []
+        pair_fields: list[tuple] = []
+        pair_map: dict[tuple[int, int], int] = {}
+        entry_of_group: list[int] = []
+        for slot in active:
+            key = self._grp_key[slot]
+            t = self._grp_clock[slot]
+            state_key = (key[0], key[1], t)
+            ei = entries.get(state_key)
+            if ei is None:
+                ei = entries[state_key] = len(entry_nodes)
+                node = self._grp_node[slot]
+                entry_nodes.append(node)
+                pairs: list[int] = []
+                for container in node.containers:
+                    f = synthesis.tick_fields(container, t)
+                    if f is None:
+                        continue
+                    index = len(pair_fields)
+                    pair_fields.append(f)
+                    pair_map[(ei, id(container))] = index
+                    pairs.append(index)
+                entry_pairs.append(pairs)
+            entry_of_group.append(ei)
+
+        # --- row collection (group-member order; globally re-sorted by
+        # the caller) ---------------------------------------------------
+        row_list: list[int] = []
+        row_pair: list[int] = []
+        row_group: list[int] = []
+        rows_append = row_list.append
+        pairs_append = row_pair.append
+        groups_append = row_group.append
+        pair_get = pair_map.get
+        clocks = self._grp_clock
+        for gi, slot in enumerate(active):
+            t = clocks[slot]
+            ei = entry_of_group[gi]
+            for row, container in zip(
+                self._grp_members[slot], self._grp_containers[slot]
+            ):
+                index = pair_get((ei, id(container)))
+                if index is None:
+                    f = synthesis.tick_fields(container, t)
+                    if f is not None:
+                        index = len(pair_fields)
+                        pair_fields.append(f)
+                    else:
+                        index = -1  # unrecorded tick -> zero sentinel row
+                rows_append(row)
+                pairs_append(index)
+                groups_append(gi)
+            clocks[slot] = t + 1
+
+        pair_fields.append(synthesis.ZERO_FIELDS)  # index -1
+        fields = np.array(pair_fields, dtype=np.float64)
+
+        # --- host states: baseline + ordered segment accumulation ------
+        n_entries = len(entry_nodes)
+        cores_e = np.array([float(n.spec.cores) for n in entry_nodes])
+        memory_e = np.array([float(n.spec.memory_bytes) for n in entry_nodes])
+        diskbw_e = np.array([float(n.spec.disk_bandwidth) for n in entry_nodes])
+        netbw_e = np.array(
+            [float(n.spec.network_bandwidth) for n in entry_nodes]
+        )
+        drb_e = np.array(
+            [float(n.spec.disk_random_bandwidth) for n in entry_nodes]
+        )
+        host_states = synthesis.host_baseline(n_entries, memory_e)
+        max_members = max((len(p) for p in entry_pairs), default=0)
+        for position in range(max_members):
+            sel = [e for e in range(n_entries) if len(entry_pairs[e]) > position]
+            pairs_k = [entry_pairs[e][position] for e in sel]
+            contrib = synthesis.host_additive_contributions(
+                fields[pairs_k], cores_e[sel], memory_e[sel],
+                diskbw_e[sel], netbw_e[sel],
+            )
+            host_states[sel] += contrib
+        synthesis.host_derived(host_states, cores_e, memory_e, drb_e)
+
+        # --- host metric rows: one per active group --------------------
+        entry_of_group_arr = np.asarray(entry_of_group, dtype=np.intp)
+        host_rngs = [self._grp_rng[slot] for slot in active]
+        host_values = catalog.synthesize_rows(
+            catalog.host,
+            host_states[entry_of_group_arr],
+            host_rngs,
+            self._tick_scratch("host_noise", len(active),
+                               catalog.spec_arrays(catalog.host).noisy_idx.size),
+        )
+        slots_arr = np.asarray(active, dtype=np.intp)
+        conv_groups = np.array(
+            [self._grp_convert[slot] for slot in active], dtype=bool
+        )
+        self._counters_and_rates(
+            host_values, catalog.spec_arrays(catalog.host).counter_idx,
+            slots_arr, conv_groups,
+            self._grp_accum, self._grp_prev, self._grp_has_prev,
+        )
+
+        # --- container metric rows -------------------------------------
+        rows_arr = np.asarray(row_list, dtype=np.intp)
+        row_group_arr = np.asarray(row_group, dtype=np.intp)
+        row_pair_arr = np.asarray(row_pair, dtype=np.intp)
+        container_states = synthesis.container_state_from_fields(
+            fields[row_pair_arr],
+            self._row_alloc[rows_arr],
+            cores_e[entry_of_group_arr[row_group_arr]],
+        )
+        row_rngs = [self._row_rng[row] for row in row_list]
+        container_values = catalog.synthesize_rows(
+            catalog.container,
+            container_states,
+            row_rngs,
+            self._tick_scratch(
+                "container_noise", len(row_list),
+                catalog.spec_arrays(catalog.container).noisy_idx.size,
+            ),
+        )
+        self._counters_and_rates(
+            container_values,
+            catalog.spec_arrays(catalog.container).counter_idx,
+            rows_arr, self._row_convert[rows_arr],
+            self._row_accum, self._row_prev, self._row_has_prev,
+        )
+
+        # --- scatter into the fleet matrix -----------------------------
+        # Host rows broadcast per group: each group's single host vector
+        # lands in all of its member rows without first materializing
+        # the (n_rows, n_host) expansion the flat scatter would need.
+        raw_host = self.raw[:, : self.n_host]
+        grp_members = self._grp_members
+        for gi, slot in enumerate(active):
+            raw_host[grp_members[slot]] = host_values[gi]
+        self.raw[rows_arr, self.n_host:] = container_values
+        self.completeness[rows_arr] = 1.0
+        self.recorded_mask[rows_arr] = row_pair_arr >= 0
+        return row_list
+
+    def _tick_scratch(self, name: str, n: int, k: int) -> np.ndarray:
+        buffer = self._scratch.get(name)
+        if buffer is None or buffer.shape != (n, k):
+            buffer = self._scratch[name] = np.empty((n, k))
+        return buffer
+
+    @staticmethod
+    def _counters_and_rates(values, counter_idx, state_rows, convert,
+                            accum, prev, has_prev) -> None:
+        """Counter accumulation + rate conversion across the row axis.
+
+        Replicates ``synthesize_step``'s running accumulator and
+        ``_ScopeStream.step``'s rate recurrence per stream: row *i*'s
+        accumulator/prev live in ``accum[state_rows[i]]`` /
+        ``prev[state_rows[i]]``.  ``convert`` masks rows whose agent
+        converts counters to rates; unconverted rows keep the raw
+        cumulative values, exactly like a ``convert_counters=False``
+        reference stream.
+        """
+        if counter_idx.size == 0:
+            return
+        increments = np.maximum(values[:, counter_idx], 0.0)
+        cumulative = accum[state_rows] + increments
+        accum[state_rows] = cumulative
+        values[:, counter_idx] = cumulative
+        if not convert.any():
+            return
+        conv_rows = np.flatnonzero(convert)
+        state_conv = state_rows[conv_rows]
+        cum_conv = cumulative[conv_rows]
+        deltas = cum_conv - prev[state_conv]
+        np.maximum(deltas, 0.0, out=deltas)
+        first = ~has_prev[state_conv]
+        if first.any():
+            deltas[first] = 0.0
+        values[conv_rows[:, None], counter_idx] = deltas
+        prev[state_conv] = cum_conv
+        has_prev[state_conv] = True

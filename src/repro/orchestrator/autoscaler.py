@@ -76,6 +76,8 @@ class Autoscaler:
 
     def act(self, saturated: set[str], t: int) -> None:
         """Retire expired replicas, then scale out saturated services."""
+        if not saturated and not self.active:
+            return
         # Scale-in first: replicas whose lifespan elapsed.
         surviving = []
         for replica in self.active:

@@ -14,15 +14,16 @@ window yields identical values.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 import numpy as np
 
 from repro import obs
 from repro.cluster.container import Container
 from repro.cluster.node import Node
+from repro.telemetry import synthesis
 from repro.telemetry.catalog import (
     CONTAINER_CHANNELS,
-    HOST_CHANNELS,
     MetricCatalog,
     default_catalog,
 )
@@ -31,6 +32,7 @@ from repro.telemetry.rates import counters_to_rates
 __all__ = ["TelemetryAgent"]
 
 
+@lru_cache(maxsize=65536)
 def _stream_seed(seed: int, name: str) -> int:
     digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
@@ -64,75 +66,35 @@ class TelemetryAgent:
     # State extraction
     # ------------------------------------------------------------------
     def host_state(self, node: Node, start: int, end: int) -> np.ndarray:
-        """Host state matrix (ticks ``start..end-1``, channels)."""
+        """Host state matrix (ticks ``start..end-1``, channels).
+
+        Vectorized over the tick axis via
+        :mod:`repro.telemetry.synthesis`: the baseline, one additive
+        contribution matrix per container (in ``node.containers``
+        order, preserving the reference accumulation order), then the
+        derived channels -- bitwise equal to the original per-offset
+        scalar loop.
+        """
         T = end - start
         if T <= 0:
             raise ValueError("end must exceed start.")
-        H = HOST_CHANNELS
-        state = np.zeros((T, len(H)))  # the "one" channel stays 0
         spec = node.spec
-
-        # OS baseline activity on an otherwise idle host.
-        state[:, H["cpu_util"]] += 1.5
-        state[:, H["pswitch"]] += 900.0
-        state[:, H["tcp_established"]] += 40.0
-        state[:, H["nprocs"]] += 180.0
-        state[:, H["interrupts"]] += 1200.0
-        state[:, H["net_packets"]] += 300.0
-        state[:, H["mem_used_log"]] += np.log1p(0.05 * spec.memory_bytes)
-
+        state = synthesis.host_baseline(T, spec.memory_bytes)
+        contrib: np.ndarray | None = None
         for container in node.containers:
-            for offset in range(T):
-                tick = container.tick_at(start + offset)
-                if tick is None:
-                    continue
-                used = tick.cpu.used_cores
-                state[offset, H["cpu_util"]] += 100.0 * used / spec.cores
-                state[offset, H["mem_util"]] += (
-                    100.0 * tick.memory.usage_bytes / spec.memory_bytes
-                )
-                disk_bytes = tick.disk_read_bytes + tick.disk_write_bytes
-                state[offset, H["disk_util"]] += (
-                    100.0 * disk_bytes / spec.disk_bandwidth
-                )
-                net_bytes = tick.network_rx_bytes + tick.network_tx_bytes
-                state[offset, H["net_util"]] += (
-                    100.0 * net_bytes / spec.network_bandwidth
-                )
-                state[offset, H["pswitch"]] += 4.0 * tick.throughput
-                state[offset, H["tcp_established"]] += tick.tcp_connections
-                state[offset, H["nprocs"]] += tick.processes
-                state[offset, H["page_in"]] += (
-                    tick.memory.page_in_bytes / 1024.0
-                )
-                state[offset, H["net_packets"]] += net_bytes / 1500.0
-                state[offset, H["interrupts"]] += (
-                    net_bytes / 1500.0 + disk_bytes / 65536.0
-                )
-
-        # Derived channels.
-        state[:, H["disk_aveq"]] = np.maximum(
-            0.05, state[:, H["disk_util"]] / 100.0 * 4.0
-            + state[:, H["page_in"]] / (node.spec.disk_random_bandwidth / 1024.0)
-            * 8.0
+            fields = synthesis.gather_container_fields(container, start, end)
+            contrib = synthesis.host_additive_contributions(
+                fields,
+                spec.cores,
+                spec.memory_bytes,
+                spec.disk_bandwidth,
+                spec.network_bandwidth,
+                out=contrib,
+            )
+            state += contrib
+        synthesis.host_derived(
+            state, spec.cores, spec.memory_bytes, spec.disk_random_bandwidth
         )
-        state[:, H["io_wait"]] = np.minimum(
-            95.0, state[:, H["disk_aveq"]] * 2.0
-        )
-        state[:, H["load_avg"]] = (
-            state[:, H["cpu_util"]] / 100.0 * spec.cores
-            + state[:, H["disk_aveq"]] * 0.5
-        )
-        state[:, H["mem_used_log"]] = np.log1p(
-            state[:, H["mem_util"]] / 100.0 * spec.memory_bytes
-            + 0.05 * spec.memory_bytes
-        )
-        state[:, H["membw_util"]] = np.minimum(
-            100.0,
-            state[:, H["cpu_util"]] * 0.3 + state[:, H["net_util"]] * 0.2,
-        )
-        state[:, H["cpu_util"]] = np.minimum(state[:, H["cpu_util"]], 100.0)
-        state[:, H["mem_util"]] = np.minimum(state[:, H["mem_util"]], 100.0)
         return state
 
     def container_state(
@@ -142,29 +104,12 @@ class TelemetryAgent:
         T = end - start
         if T <= 0:
             raise ValueError("end must exceed start.")
-        C = CONTAINER_CHANNELS
-        state = np.zeros((T, len(C)))  # the "one" channel stays 0
-        state[:, C["periods"]] = 10.0
         quota = container.cpu_cgroup.quota_cores
         allocation = quota if quota is not None else float(node.spec.cores)
-        for offset in range(T):
-            tick = container.tick_at(start + offset)
-            if tick is None:
-                continue
-            used = tick.cpu.used_cores
-            state[offset, C["cpu_rel_util"]] = min(100.0, 100.0 * used / allocation)
-            state[offset, C["cpu_host_util"]] = 100.0 * used / node.spec.cores
-            state[offset, C["throttled"]] = tick.cpu.nr_throttled
-            state[offset, C["mem_limit_util"]] = tick.memory.limit_utilization
-            state[offset, C["mem_usage_log"]] = np.log1p(tick.memory.usage_bytes)
-            state[offset, C["rx_log"]] = np.log1p(tick.network_rx_bytes)
-            state[offset, C["tx_log"]] = np.log1p(tick.network_tx_bytes)
-            state[offset, C["connections"]] = tick.tcp_connections
-            state[offset, C["processes"]] = tick.processes
-            state[offset, C["page_in_log"]] = np.log1p(tick.memory.page_in_bytes)
-            state[offset, C["disk_read_log"]] = np.log1p(tick.disk_read_bytes)
-            state[offset, C["disk_write_log"]] = np.log1p(tick.disk_write_bytes)
-        return state
+        fields = synthesis.gather_container_fields(container, start, end)
+        return synthesis.container_state_from_fields(
+            fields, allocation, node.spec.cores
+        )
 
     # ------------------------------------------------------------------
     # Metric synthesis

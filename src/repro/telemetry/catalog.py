@@ -125,20 +125,31 @@ class SpecArrays:
     complement: np.ndarray  # bool: transform == "complement100"
     noisy: np.ndarray  # bool: noise > 0
     counters: np.ndarray  # bool: cumulative counter semantics
+    # Precomputed index/sigma views of the boolean masks, shared by the
+    # batched row kernels so steady-state ticks do no mask arithmetic.
+    complement_idx: np.ndarray
+    noisy_idx: np.ndarray
+    counter_idx: np.ndarray
+    sigma: np.ndarray  # noises[noisy]
 
     @staticmethod
     def from_specs(specs: list[MetricSpec]) -> "SpecArrays":
         noises = np.array([s.noise for s in specs])
+        complement = np.array([s.transform == "complement100" for s in specs])
+        noisy = noises > 0
+        counters = np.array([s.counter for s in specs])
         return SpecArrays(
             channels=np.array([s.channel for s in specs]),
             gains=np.array([s.gain for s in specs]),
             bases=np.array([s.base for s in specs]),
             noises=noises,
-            complement=np.array(
-                [s.transform == "complement100" for s in specs]
-            ),
-            noisy=noises > 0,
-            counters=np.array([s.counter for s in specs]),
+            complement=complement,
+            noisy=noisy,
+            counters=counters,
+            complement_idx=np.flatnonzero(complement),
+            noisy_idx=np.flatnonzero(noisy),
+            counter_idx=np.flatnonzero(counters),
+            sigma=noises[noisy],
         )
 
 
@@ -219,6 +230,51 @@ class MetricCatalog:
             values[:, counters] = np.cumsum(
                 np.maximum(values[:, counters], 0.0), axis=0
             )
+        return values
+
+    def synthesize_rows(
+        self,
+        specs: list[MetricSpec],
+        states: np.ndarray,
+        rngs,
+        noise_scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Driver + noise synthesis for many *independent streams* at once.
+
+        ``states`` has shape ``(N, n_channels)`` -- one tick of N
+        different streams; ``rngs[i]`` is stream *i*'s generator.  Row
+        *i* of the result is bitwise what :meth:`synthesize_step` would
+        produce from ``states[i]`` and ``rngs[i]``: the driver math is
+        elementwise, and each stream's Gaussian draw is one k-vector
+        ``standard_normal`` into a scratch row scaled by the per-metric
+        sigmas -- the same bit-generator consumption and the same
+        floating-point product as ``rng.normal(0.0, sigma)``.
+
+        Counter accumulation and rate conversion are left to the caller
+        (they carry cross-tick state; see
+        :class:`repro.fleet.telemetry.FleetTelemetryStream`).
+        """
+        arrays = self.spec_arrays(specs)
+        n = states.shape[0]
+        values = states[:, arrays.channels]
+        np.multiply(values, arrays.gains, out=values)
+        np.add(values, arrays.bases, out=values)
+        if arrays.complement_idx.size:
+            raw = (
+                states[:, arrays.channels[arrays.complement]]
+                * arrays.gains[arrays.complement]
+            )
+            values[:, arrays.complement_idx] = (
+                100.0 - raw + arrays.bases[arrays.complement]
+            )
+        k = arrays.noisy_idx.size
+        if k:
+            if noise_scratch is None or noise_scratch.shape != (n, k):
+                noise_scratch = np.empty((n, k))
+            for rng, scratch_row in zip(rngs, noise_scratch):
+                rng.standard_normal(out=scratch_row)
+            np.multiply(noise_scratch, arrays.sigma, out=noise_scratch)
+            values[:, arrays.noisy_idx] += noise_scratch
         return values
 
     def synthesize_step(

@@ -1,0 +1,198 @@
+"""Property tests: batched fleet synthesis vs the per-instance reference.
+
+The fleet's struct-of-arrays kernel promises bitwise equality with
+``TelemetryAgent.instance_matrix`` for every emitted row -- across
+history-window boundaries, for rows added mid-window (scale-out),
+after row retirement/reuse, and in fleets mixing plain fast-path
+agents with wrapped compat-path agents.  The one documented exception
+is counter *rates* on a stream's very first tick, which the batch
+matrix back-fills non-causally (see ``repro/telemetry/stream.py``);
+first-tick comparisons therefore skip the counter columns.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.orchestrator import build_cell, make_fleet_specs
+from repro.fleet.telemetry import FleetTelemetryStream
+from repro.reliability.telemetry import ResilientTelemetry
+
+
+def _build(base_seed):
+    spec = make_fleet_specs(1, base_seed=base_seed)[0]
+    cell = build_cell(spec)
+    deployment = cell.simulation.deployments[cell.application]
+    containers = [
+        instance.container
+        for replicas in deployment.instances.values()
+        for instance in replicas
+    ]
+    return spec, cell, containers
+
+
+def _counter_columns(catalog):
+    return np.concatenate([
+        catalog.spec_arrays(catalog.host).counters,
+        catalog.spec_arrays(catalog.container).counters,
+    ])
+
+
+def _advance(fleet, expected_rows):
+    """One synthesis round; returns ``{row: raw-row copy}``."""
+    fleet.begin_tick()
+    emitted = fleet.advance_round()
+    assert sorted(emitted.tolist()) == sorted(expected_rows)
+    return {row: fleet.raw[row].copy() for row in emitted}
+
+
+def _assert_rows_match_matrix(agent, container, nodes, rows, counter_cols):
+    """``rows`` are the container's emissions in tick order, starting
+    at its creation tick."""
+    reference = agent.instance_matrix(container, nodes)
+    assert len(rows) <= reference.shape[0]
+    for k, values in enumerate(rows):
+        if k == 0:
+            # First-tick counter rates are back-filled non-causally by
+            # the batch converter; everything else must match bitwise.
+            assert np.array_equal(
+                values[~counter_cols], reference[0][~counter_cols]
+            )
+        else:
+            assert np.array_equal(values, reference[k]), f"tick {k}"
+
+
+class TestBatchedSynthesisProperties:
+    @given(seed=st.integers(0, 2**16), ticks=st.integers(17, 24))
+    @settings(max_examples=5, deadline=None)
+    def test_rows_match_instance_matrix_across_windows(self, seed, ticks):
+        """Full-fleet emission crossing the 16-tick history window."""
+        spec, cell, containers = _build(seed)
+        agent = cell.agent
+        fleet = FleetTelemetryStream(
+            agent.catalog, capacity=len(containers), history=16
+        )
+        for row, container in enumerate(containers):
+            fleet.add_row(
+                row, spec.namespace, agent, container, cell.simulation.nodes
+            )
+        per_row = {row: [] for row in range(len(containers))}
+        for _ in range(ticks):
+            cell.simulation.step({cell.application: 40.0})
+            for row, values in _advance(
+                fleet, range(len(containers))
+            ).items():
+                per_row[row].append(values)
+        counter_cols = _counter_columns(agent.catalog)
+        for row, container in enumerate(containers):
+            _assert_rows_match_matrix(
+                agent, container, cell.simulation.nodes,
+                per_row[row], counter_cols,
+            )
+
+    @given(seed=st.integers(0, 2**16), scale_tick=st.integers(1, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_scale_out_mid_window(self, seed, scale_tick):
+        """A row added after tick 0 joins its own (namespace, node,
+        start) host group and still matches its reference matrix."""
+        spec, cell, containers = _build(seed)
+        agent = cell.agent
+        nodes = cell.simulation.nodes
+        fleet = FleetTelemetryStream(agent.catalog, capacity=16)
+        for row, container in enumerate(containers):
+            fleet.add_row(row, spec.namespace, agent, container, nodes)
+        live = list(range(len(containers)))
+        per_row = {row: [] for row in live}
+        extra_row = None
+        for t in range(scale_tick + 6):
+            if t == scale_tick:
+                service, placement = next(
+                    iter(cell.autoscaler.rules.placements.items())
+                )
+                extra = cell.simulation.add_replica(
+                    cell.application, service, placement
+                )
+                extra_row = len(containers)
+                fleet.add_row(extra_row, spec.namespace, agent, extra, nodes)
+                containers.append(extra)
+                live.append(extra_row)
+                per_row[extra_row] = []
+            cell.simulation.step({cell.application: 55.0})
+            for row, values in _advance(fleet, live).items():
+                per_row[row].append(values)
+        assert extra_row is not None
+        counter_cols = _counter_columns(agent.catalog)
+        for row, container in zip(live, containers):
+            _assert_rows_match_matrix(
+                agent, container, nodes, per_row[row], counter_cols
+            )
+
+    @given(seed=st.integers(0, 2**16), retire_tick=st.integers(1, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_row_retirement_and_reuse(self, seed, retire_tick):
+        """Retiring a row and reusing its index for a new container
+        leaves every surviving stream bitwise intact."""
+        spec, cell, containers = _build(seed)
+        agent = cell.agent
+        nodes = cell.simulation.nodes
+        fleet = FleetTelemetryStream(agent.catalog, capacity=16)
+        for row, container in enumerate(containers):
+            fleet.add_row(row, spec.namespace, agent, container, nodes)
+        live = list(range(len(containers)))
+        per_row = {row: [] for row in live}
+        reused = False
+        for t in range(retire_tick + 6):
+            if t == retire_tick:
+                victim = live.pop(0)
+                fleet.retire_row(victim)
+                per_row.pop(victim)
+                containers.pop(0)
+                service, placement = next(
+                    iter(cell.autoscaler.rules.placements.items())
+                )
+                extra = cell.simulation.add_replica(
+                    cell.application, service, placement
+                )
+                fleet.add_row(victim, spec.namespace, agent, extra, nodes)
+                containers.append(extra)
+                live.append(victim)
+                per_row[victim] = []
+                reused = True
+            cell.simulation.step({cell.application: 60.0})
+            for row, values in _advance(fleet, live).items():
+                per_row[row].append(values)
+        assert reused
+        counter_cols = _counter_columns(agent.catalog)
+        for row, container in zip(live, containers):
+            _assert_rows_match_matrix(
+                agent, container, nodes, per_row[row], counter_cols
+            )
+
+    @given(seed=st.integers(0, 2**16), ticks=st.integers(3, 10))
+    @settings(max_examples=5, deadline=None)
+    def test_mixed_plain_and_wrapped_fleet(self, seed, ticks):
+        """Wrapped agents ride the compat path; plain agents the fast
+        path; both emit the same bits as the reference matrix."""
+        spec, cell, containers = _build(seed)
+        agent = cell.agent
+        nodes = cell.simulation.nodes
+        wrapped = ResilientTelemetry(agent, staleness_budget=2)
+        fleet = FleetTelemetryStream(agent.catalog, capacity=len(containers))
+        for row, container in enumerate(containers):
+            row_agent = wrapped if row % 2 else agent
+            fleet.add_row(row, spec.namespace, row_agent, container, nodes)
+        assert fleet.fast_mask[: len(containers)].tolist() == [
+            row % 2 == 0 for row in range(len(containers))
+        ]
+        per_row = {row: [] for row in range(len(containers))}
+        for _ in range(ticks):
+            cell.simulation.step({cell.application: 45.0})
+            for row, values in _advance(
+                fleet, range(len(containers))
+            ).items():
+                per_row[row].append(values)
+        counter_cols = _counter_columns(agent.catalog)
+        for row, container in enumerate(containers):
+            _assert_rows_match_matrix(
+                agent, container, nodes, per_row[row], counter_cols
+            )
