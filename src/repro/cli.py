@@ -19,7 +19,10 @@ Ten subcommands cover the common workflows:
   blackouts, node faults) against a clean run and report deltas;
 - ``fleet``      -- drive many application cells through the vectorized
   fleet serving path (one matrix per tick, sharded over workers) and
-  report tick throughput.
+  report tick throughput;
+- ``interference`` -- build the neighbour-caused degradation corpus
+  (victims at constant sub-knee load vs co-located antagonists) and run
+  the solo->interference transfer evaluation.
 
 The generation/training paths accept ``--jobs N`` (``-1`` = all cores)
 to fan session simulation, tree fitting and grid-search evaluation out
@@ -39,7 +42,9 @@ Examples::
     python -m repro stream --model model.pkl --duration 600 --trace
     python -m repro obs --duration 120 --format prom
     python -m repro chaos --duration 240 --dropout 0.15
+    python -m repro chaos --duration 240 --antagonist cpu
     python -m repro fleet --model model.pkl --cells 32 --ticks 120 --jobs -1
+    python -m repro interference --duration 150 --jobs -1 --report out.json
 """
 
 from __future__ import annotations
@@ -208,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "unavailable (default hold)")
     chaos.add_argument("--report", default=None,
                        help="write the full ChaosReport as JSON here")
+    chaos.add_argument("--antagonist", choices=("cpu", "membw", "disk"),
+                       default=None,
+                       help="co-locate a noisy-neighbour stressor of this "
+                            "kind in the chaos run (clean run stays solo)")
+    chaos.add_argument("--antagonist-rate", type=float, default=100.0,
+                       help="antagonist requests/s once active (default 100)")
     chaos.add_argument("--seed", type=int, default=0)
 
     fleet = commands.add_parser(
@@ -241,6 +252,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 25)")
     fleet.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(fleet)
+
+    interference = commands.add_parser(
+        "interference",
+        help="build the neighbour-caused degradation corpus and run the "
+             "solo->interference transfer evaluation",
+    )
+    interference.add_argument(
+        "--model", default=None,
+        help="optional saved solo-trained model (default: train a small "
+             "6-run, 15-tree model first)")
+    interference.add_argument(
+        "--duration", type=int, default=150,
+        help="seconds per interference scenario (default 150)")
+    interference.add_argument(
+        "--calibration-duration", type=int, default=100,
+        help="seconds per victim calibration ramp (default 100)")
+    interference.add_argument(
+        "--report", default=None,
+        help="write the transfer-eval result as JSON here")
+    interference.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(interference)
     return parser
 
 
@@ -565,35 +597,44 @@ def _cmd_obs(args, out) -> int:
     return 0
 
 
+def _small_solo_model(args, out):
+    """Load ``--model`` or train the small 6-run, 15-tree stand-in.
+
+    The stand-in is trained purely on solo-tenant Table-1 runs, which
+    is exactly what the interference transfer eval needs as a baseline.
+    """
+    from repro.core.model import MonitorlessModel
+
+    if args.model:
+        return MonitorlessModel.load(args.model)
+    print("No --model given; training a small 6-run model...", file=out)
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+
+    runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+    corpus = build_training_corpus(
+        duration=80, calibration_duration=100, seed=3, runs=runs
+    )
+    model = MonitorlessModel(
+        classifier_params={"n_estimators": 15}, random_state=args.seed
+    )
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    return model
+
+
 def _cmd_chaos(args, out) -> int:
     import json
 
     from repro.reliability.chaos import ChaosConfig, run_chaos
 
-    if args.model:
-        from repro.core.model import MonitorlessModel
-
-        model = MonitorlessModel.load(args.model)
-    else:
-        print("No --model given; training a small 6-run model...", file=out)
-        from repro.core.model import MonitorlessModel
-        from repro.datasets.configs import run_by_id
-        from repro.datasets.generate import build_training_corpus
-
-        runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
-        corpus = build_training_corpus(
-            duration=80, calibration_duration=100, seed=3, runs=runs
-        )
-        model = MonitorlessModel(
-            classifier_params={"n_estimators": 15}, random_state=args.seed
-        )
-        model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
-
+    model = _small_solo_model(args, out)
     config = ChaosConfig(
         dropout_probability=args.dropout,
         staleness_budget=args.budget,
         failsafe=args.failsafe,
         seed=args.seed,
+        antagonist=args.antagonist,
+        antagonist_rate=args.antagonist_rate,
     )
     report = run_chaos(
         model, duration=args.duration, seed=args.seed, config=config
@@ -625,25 +666,7 @@ def _cmd_fleet(args, out) -> int:
         make_fleet_specs,
     )
 
-    if args.model:
-        from repro.core.model import MonitorlessModel
-
-        model = MonitorlessModel.load(args.model)
-    else:
-        print("No --model given; training a small 6-run model...", file=out)
-        from repro.core.model import MonitorlessModel
-        from repro.datasets.configs import run_by_id
-        from repro.datasets.generate import build_training_corpus
-
-        runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
-        corpus = build_training_corpus(
-            duration=80, calibration_duration=100, seed=3, runs=runs
-        )
-        model = MonitorlessModel(
-            classifier_params={"n_estimators": 15}, random_state=args.seed
-        )
-        model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
-
+    model = _small_solo_model(args, out)
     specs = make_fleet_specs(args.cells, base_seed=args.seed, kind=args.kind)
     workloads = default_fleet_workloads(args.cells, args.ticks, seed=args.seed)
     orchestrator = FleetOrchestrator(
@@ -685,6 +708,52 @@ def _cmd_fleet(args, out) -> int:
     return 0
 
 
+def _cmd_interference(args, out) -> int:
+    import json
+
+    from repro.datasets.interference import (
+        build_interference_corpus,
+        transfer_eval,
+    )
+
+    model = _small_solo_model(args, out)
+    print(
+        f"Building interference corpus ({args.duration}s per scenario)...",
+        file=out,
+    )
+    corpus = build_interference_corpus(
+        duration=args.duration,
+        calibration_duration=args.calibration_duration,
+        seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    for row in corpus.summary():
+        print("  ".join(f"{key}={value}" for key, value in row.items()), file=out)
+    result = transfer_eval(model, corpus)
+    print("Solo->interference transfer:", file=out)
+    for key in (
+        "interference_recall",
+        "self_recall",
+        "false_alarm_interference",
+        "false_alarm_solo",
+        "false_alarm_delta",
+    ):
+        value = result[key]
+        shown = "n/a" if value is None else f"{value:.3f}"
+        print(f"  {key:<26} {shown}", file=out)
+    for row in result["per_scenario"]:
+        print(
+            "  " + "  ".join(f"{key}={value}" for key, value in row.items()),
+            file=out,
+        )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"Report written to {args.report}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "dataset": _cmd_dataset,
@@ -696,6 +765,7 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
+    "interference": _cmd_interference,
 }
 
 

@@ -29,6 +29,10 @@ class ContainerTick:
     throughput: float = 0.0  # completed requests/s
     response_time: float = 0.0  # seconds
     dropped: float = 0.0  # requests/s
+    # Shared-node contention accounting (interference channels):
+    cpu_steal_cores: float = 0.0  # runnable cores lost to neighbours
+    membw_bytes: float = 0.0  # DRAM traffic actually moved (bytes/s)
+    disk_shortfall_bytes: float = 0.0  # disk work queued behind the device
     # Simulator ground truth (never exposed as platform metrics):
     bottleneck: str = ""  # resource with the highest utilization
     max_utilization: float = 0.0

@@ -22,7 +22,13 @@ import numpy as np
 from repro.cluster.container import Container
 from repro.cluster.resources import GBIT, GIB
 
-__all__ = ["NodeSpec", "Node", "MACHINES", "fair_share"]
+__all__ = [
+    "NodeSpec",
+    "Node",
+    "MACHINES",
+    "fair_share",
+    "NEGATIVE_DEMAND_TOLERANCE",
+]
 
 
 @dataclass(frozen=True)
@@ -94,15 +100,29 @@ MACHINES: dict[str, NodeSpec] = {
 }
 
 
+#: Demands above this magnitude below zero are treated as genuine
+#: modelling errors; anything in ``(-NEGATIVE_DEMAND_TOLERANCE, 0)``
+#: is float-rounding debris from the work-conserving arithmetic
+#: (demand sums and ratio rescaling accumulate ~1 ulp per member) and
+#: is clamped to exactly 0.0 instead of aborting the run.
+NEGATIVE_DEMAND_TOLERANCE = 1e-6
+
+
 def fair_share(demands: np.ndarray, capacity: float) -> np.ndarray:
     """Proportional fair allocation of ``capacity`` to ``demands``.
 
     Under-subscribed resources grant every demand in full; otherwise
     each consumer receives ``capacity * demand / total_demand``.
+
+    Microscopically negative demands (float rounding in the
+    work-conserving paths) are clamped to 0; demands more negative
+    than :data:`NEGATIVE_DEMAND_TOLERANCE` still raise.
     """
     demands = np.asarray(demands, dtype=np.float64)
     if np.any(demands < 0):
-        raise ValueError("Demands must be non-negative.")
+        if np.any(demands < -NEGATIVE_DEMAND_TOLERANCE):
+            raise ValueError("Demands must be non-negative.")
+        demands = np.maximum(demands, 0.0)
     total = demands.sum()
     if total <= capacity or total == 0.0:
         return demands.copy()

@@ -28,7 +28,12 @@ import numpy as np
 from repro.apps.base import ApplicationModel, InstanceRuntime
 from repro.cluster.cgroup import CpuCgroup, MemoryCgroup
 from repro.cluster.container import Container, ContainerTick
-from repro.cluster.node import Node, NodeSpec, fair_share
+from repro.cluster.node import (
+    NEGATIVE_DEMAND_TOLERANCE,
+    Node,
+    NodeSpec,
+    fair_share,
+)
 
 __all__ = ["Placement", "Deployment", "ClusterSimulation", "SimulationResult"]
 
@@ -306,6 +311,30 @@ class ClusterSimulation:
             cpu, disk, random_disk, net, membw = shares[
                 instance.container.name
             ]
+            # Interference accounting: what this container *lost* to (or
+            # pushed onto) its neighbours on the shared node.  All three
+            # are pure observability -- they never feed back into
+            # performance resolution.
+            node_cores = float(
+                self.nodes[instance.container.node].spec.cores
+            )
+            quota = instance.container.cpu_cgroup.quota_cores
+            if quota is None:
+                quota = node_cores
+            runnable = min(demand.cpu_cores, quota)
+            # Steal: CPU the container could have used were it alone on
+            # the node (its quota-clamped demand, capped by the machine)
+            # minus what arbitration actually granted.  Solo tenants see
+            # exactly 0; co-located tenants see the fair-share squeeze.
+            cpu_steal = max(0.0, min(runnable, node_cores) - cpu)
+            # Memory-bandwidth actually moved (LLC / DRAM pressure other
+            # tenants observe): demand capped by the granted share.
+            membw_bytes = min(demand.memory_bandwidth_bytes, membw)
+            # Disk work that had to queue behind the shared device this
+            # tick (sequential + seek-bound shortfall).
+            disk_shortfall = max(0.0, demand.disk_bytes - disk) + max(
+                0.0, demand.random_disk_bytes - random_disk
+            )
             performance = instance.runtime.resolve(
                 demand,
                 cpu_capacity=cpu,
@@ -334,6 +363,9 @@ class ClusterSimulation:
                 dropped=performance.dropped,
                 bottleneck=performance.bottleneck.value,
                 max_utilization=performance.max_utilization,
+                cpu_steal_cores=cpu_steal,
+                membw_bytes=membw_bytes,
+                disk_shortfall_bytes=disk_shortfall,
             )
             instance.container.record(tick)
             per_app_service[instance.application][instance.service].append(
@@ -404,10 +436,18 @@ def _work_conserving_scalar(demands: list, total: float) -> list:
     does for arrays shorter than eight elements, so every result is
     bitwise-equal to the array path.
     """
+    clamped: list | None = None
+    for i, demand in enumerate(demands):
+        if demand < 0:
+            if demand < -NEGATIVE_DEMAND_TOLERANCE:
+                raise ValueError("Demands must be non-negative.")
+            if clamped is None:
+                clamped = list(demands)
+            clamped[i] = 0.0
+    if clamped is not None:
+        demands = clamped
     subscribed = 0.0
     for demand in demands:
-        if demand < 0:
-            raise ValueError("Demands must be non-negative.")
         subscribed += demand
     if subscribed <= total or subscribed == 0.0:
         granted = demands

@@ -9,6 +9,9 @@
 - :mod:`repro.datasets.experiments` -- the three evaluation scenarios:
   Elgg three-tier (Table 5), the TeaStore/Sockshop multi-tenant
   deployment (Tables 6-8, Figure 3).
+- :mod:`repro.datasets.interference` -- neighbour-caused degradation
+  corpora (victim at constant sub-knee load vs a co-located antagonist)
+  and the solo->interference transfer evaluation.
 """
 
 from repro.datasets.configs import TABLE1_RUNS, RunConfig, sessions
@@ -17,6 +20,14 @@ from repro.datasets.generate import (
     TrainingCorpus,
     build_training_corpus,
     generate_session,
+)
+from repro.datasets.interference import (
+    INTERFERENCE_SCENARIOS,
+    InterferenceCorpus,
+    InterferenceRun,
+    InterferenceScenario,
+    build_interference_corpus,
+    transfer_eval,
 )
 
 __all__ = [
@@ -27,4 +38,10 @@ __all__ = [
     "TrainingCorpus",
     "generate_session",
     "build_training_corpus",
+    "InterferenceScenario",
+    "InterferenceRun",
+    "InterferenceCorpus",
+    "INTERFERENCE_SCENARIOS",
+    "build_interference_corpus",
+    "transfer_eval",
 ]

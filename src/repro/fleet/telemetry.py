@@ -427,6 +427,9 @@ class FleetTelemetryStream:
         drb_e = np.array(
             [float(n.spec.disk_random_bandwidth) for n in entry_nodes]
         )
+        membw_e = np.array(
+            [float(n.spec.memory_bandwidth) for n in entry_nodes]
+        )
         host_states = synthesis.host_baseline(n_entries, memory_e)
         max_members = max((len(p) for p in entry_pairs), default=0)
         for position in range(max_members):
@@ -434,7 +437,7 @@ class FleetTelemetryStream:
             pairs_k = [entry_pairs[e][position] for e in sel]
             contrib = synthesis.host_additive_contributions(
                 fields[pairs_k], cores_e[sel], memory_e[sel],
-                diskbw_e[sel], netbw_e[sel],
+                diskbw_e[sel], netbw_e[sel], membw_e[sel],
             )
             host_states[sel] += contrib
         synthesis.host_derived(host_states, cores_e, memory_e, drb_e)

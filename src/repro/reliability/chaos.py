@@ -110,6 +110,14 @@ class ChaosConfig:
     blackout long enough to exhaust the staleness budget, one
     both-scoped blackout, one mild node slowdown).  Pass explicit
     tuples -- possibly empty -- to take full control.
+
+    ``antagonist`` adds a noisy neighbour to the chaos run only: a
+    single-resource stressor (:mod:`repro.apps.antagonist` kind
+    ``"cpu"``, ``"membw"`` or ``"disk"``) co-located on
+    ``antagonist_node``, idle until ``antagonist_start_fraction`` of
+    the run and hammering at ``antagonist_rate`` after.  The clean
+    reference run never sees it, so the violation delta includes the
+    interference the resilience stack has to ride out.
     """
 
     dropout_probability: float = 0.15
@@ -126,6 +134,11 @@ class ChaosConfig:
     recovery_ticks: int = 3
     max_violation_delta_fraction: float = 0.15
     seed: int = 0
+    antagonist: str | None = None  # noisy-neighbour kind, chaos run only
+    antagonist_rate: float = 100.0  # requests/s once active
+    antagonist_start_fraction: float = 0.4
+    antagonist_node: str = "M2"  # where the TeaStore scale-outs land
+    antagonist_intensity: float = 1.0
 
 
 class ChaosAgent:
@@ -285,6 +298,8 @@ class ChaosReport:
     health_final: dict = field(default_factory=dict)
     obs_counters: dict = field(default_factory=dict)
     telemetry_summary: dict = field(default_factory=dict)
+    antagonist: str | None = None
+    antagonist_ticks: int = 0
 
     def rows(self) -> list[dict]:
         """Table rows for CLI / benchmark printing."""
@@ -305,7 +320,16 @@ class ChaosReport:
             {"quantity": "retries", "value": self.retries},
             {"quantity": "NaN values masked", "value": self.nan_masked_values},
             {"quantity": "within bound", "value": self.within_bound},
-        ]
+        ] + (
+            [
+                {
+                    "quantity": "antagonist (ticks active)",
+                    "value": f"{self.antagonist} ({self.antagonist_ticks})",
+                }
+            ]
+            if self.antagonist
+            else []
+        )
 
     def to_dict(self) -> dict:
         from dataclasses import asdict
@@ -386,6 +410,7 @@ def run_chaos(
     the same workload ramp and simulation seed.
     """
     from repro.cluster.faults import FaultSchedule, MetricDropout
+    from repro.cluster.simulation import Placement
     from repro.core.thresholds import ThresholdBaseline
     from repro.orchestrator.policies import MonitorlessPolicy, ThresholdPolicy
     from repro.telemetry.agent import TelemetryAgent
@@ -448,6 +473,23 @@ def run_chaos(
         return policy
 
     orchestrator, simulation = _build_orchestrator(model, chaotic_policy, seed)
+    antagonist_app = None
+    antagonist_onset = duration
+    if config.antagonist is not None:
+        from repro.apps.antagonist import antagonist_application
+
+        antagonist_app = antagonist_application(
+            config.antagonist, config.antagonist_intensity
+        )
+        simulation.deploy(
+            antagonist_app,
+            {
+                name: [Placement(node=config.antagonist_node)]
+                for name in antagonist_app.services
+            },
+        )
+        antagonist_onset = int(round(config.antagonist_start_fraction * duration))
+    antagonist_ticks = 0
     schedule = FaultSchedule(list(node_faults)) if node_faults else None
 
     externally_enabled = obs.enabled()
@@ -464,7 +506,11 @@ def run_chaos(
             for t in range(duration):
                 if schedule is not None:
                     schedule.apply_tick(simulation, pristine, t)
-                orchestrator.tick({"teastore": float(workload[t])})
+                arrivals = {"teastore": float(workload[t])}
+                if antagonist_app is not None and t >= antagonist_onset:
+                    arrivals[antagonist_app.name] = config.antagonist_rate
+                    antagonist_ticks += 1
+                orchestrator.tick(arrivals)
         finally:
             if schedule is not None:
                 schedule.restore(simulation, pristine)
@@ -540,4 +586,6 @@ def run_chaos(
         health_final=dict(policy.health),
         obs_counters={name: counter(name) for name in interesting},
         telemetry_summary=telemetry_summary,
+        antagonist=config.antagonist,
+        antagonist_ticks=antagonist_ticks,
     )

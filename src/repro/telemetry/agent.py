@@ -89,6 +89,7 @@ class TelemetryAgent:
                 spec.memory_bytes,
                 spec.disk_bandwidth,
                 spec.network_bandwidth,
+                spec.memory_bandwidth,
                 out=contrib,
             )
             state += contrib

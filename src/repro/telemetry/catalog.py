@@ -63,6 +63,7 @@ HOST_CHANNELS: dict[str, int] = {
     "net_packets": 13,  # packets / s
     "membw_util": 14,  # % of DRAM bandwidth used
     "one": 15,  # always 0: constant metrics are pure base + noise
+    "cpu_steal": 16,  # % of node cores lost to co-located tenants
 }
 N_HOST_CHANNELS = len(HOST_CHANNELS)
 
@@ -100,6 +101,10 @@ class MetricSpec:
     utilization: bool = False  # relative 0-100 scale (binary-level source)
     bytes_like: bool = False  # log-scale candidate
     domain: Domain | None = None  # inferred from the name when None
+    #: Gauge whose physical domain is [0, inf): emitted values are
+    #: clamped at 0 after noise (counters get this implicitly via their
+    #: increment clamp; gauges must opt in).
+    nonnegative: bool = False
 
     def feature_meta(self) -> FeatureMeta:
         """The pipeline-facing description of this metric."""
@@ -131,6 +136,8 @@ class SpecArrays:
     noisy_idx: np.ndarray
     counter_idx: np.ndarray
     sigma: np.ndarray  # noises[noisy]
+    nonneg: np.ndarray  # bool: gauge clamped at 0 after noise
+    nonneg_idx: np.ndarray
 
     @staticmethod
     def from_specs(specs: list[MetricSpec]) -> "SpecArrays":
@@ -138,6 +145,7 @@ class SpecArrays:
         complement = np.array([s.transform == "complement100" for s in specs])
         noisy = noises > 0
         counters = np.array([s.counter for s in specs])
+        nonneg = np.array([s.nonnegative for s in specs])
         return SpecArrays(
             channels=np.array([s.channel for s in specs]),
             gains=np.array([s.gain for s in specs]),
@@ -150,6 +158,8 @@ class SpecArrays:
             noisy_idx=np.flatnonzero(noisy),
             counter_idx=np.flatnonzero(counters),
             sigma=noises[noisy],
+            nonneg=nonneg,
+            nonneg_idx=np.flatnonzero(nonneg),
         )
 
 
@@ -224,6 +234,11 @@ class MetricCatalog:
             values[:, noisy] += rng.normal(
                 0.0, arrays.noises[noisy], size=(T, int(noisy.sum()))
             )
+        nonneg = arrays.nonneg
+        if nonneg.any():
+            # Domain-non-negative gauges: measurement noise must not
+            # drive e.g. cpu.steal below zero.
+            values[:, nonneg] = np.maximum(values[:, nonneg], 0.0)
         counters = arrays.counters
         if counters.any():
             # Counter metrics accumulate; preprocessing differentiates back.
@@ -275,6 +290,10 @@ class MetricCatalog:
                 rng.standard_normal(out=scratch_row)
             np.multiply(noise_scratch, arrays.sigma, out=noise_scratch)
             values[:, arrays.noisy_idx] += noise_scratch
+        if arrays.nonneg_idx.size:
+            values[:, arrays.nonneg_idx] = np.maximum(
+                values[:, arrays.nonneg_idx], 0.0
+            )
         return values
 
     def synthesize_step(
@@ -308,6 +327,9 @@ class MetricCatalog:
         noisy = arrays.noisy
         if noisy.any():
             values[noisy] += rng.normal(0.0, arrays.noises[noisy])
+        nonneg = arrays.nonneg
+        if nonneg.any():
+            values[nonneg] = np.maximum(values[nonneg], 0.0)
         counters = arrays.counters
         if counter_accum is None:
             counter_accum = np.zeros(int(counters.sum()))
@@ -386,9 +408,14 @@ def _host_specs() -> list[MetricSpec]:
     add("kernel.all.cpu.wait.total", "io_wait", noise=0.5, domain=Domain.CPU)
     add("kernel.all.cpu.irq.total", "interrupts", gain=0.0004, noise=0.1,
         domain=Domain.CPU)
-    add("kernel.all.cpu.nice", "one", base=0.1, noise=0.05, domain=Domain.CPU)
-    add("kernel.all.cpu.steal", "one", base=0.0, noise=0.02, domain=Domain.CPU)
-    add("kernel.all.cpu.guest", "one", base=0.0, noise=0.0, domain=Domain.CPU)
+    add("kernel.all.cpu.nice", "one", base=0.1, noise=0.05, domain=Domain.CPU,
+        nonnegative=True)
+    # Steal is driven by the *real* fair-share shortfall on the node:
+    # % of cores co-located tenants took from runnable demand this tick.
+    add("kernel.all.cpu.steal", "cpu_steal", noise=0.02, domain=Domain.CPU,
+        nonnegative=True)
+    add("kernel.all.cpu.guest", "one", base=0.0, noise=0.0, domain=Domain.CPU,
+        nonnegative=True)
     add("kernel.all.load.1m", "load_avg", noise=0.15)
     add("kernel.all.load.5m", "load_avg", gain=0.9, noise=0.1)
     add("kernel.all.load.15m", "load_avg", gain=0.8, noise=0.08)
@@ -423,6 +450,7 @@ def _host_specs() -> list[MetricSpec]:
                 noise=noise,
                 transform=transform,
                 domain=Domain.CPU,
+                nonnegative=field == "nice",
             )
 
     # --- memory ----------------------------------------------------------

@@ -59,7 +59,10 @@ F_NET_TX = 8
 F_TCP = 9
 F_PROCESSES = 10
 F_THROUGHPUT = 11
-N_FIELDS = 12
+F_CPU_STEAL = 12
+F_MEMBW = 13
+F_DISK_SHORTFALL = 14
+N_FIELDS = 15
 
 ZERO_FIELDS: tuple = (0.0,) * N_FIELDS
 
@@ -93,6 +96,9 @@ def tick_fields(container, t: int):
         tick.tcp_connections,
         tick.processes,
         tick.throughput,
+        tick.cpu_steal_cores,
+        tick.membw_bytes,
+        tick.disk_shortfall_bytes,
     )
 
 
@@ -126,6 +132,9 @@ def gather_container_fields(container, start: int, end: int) -> np.ndarray:
             tick.tcp_connections,
             tick.processes,
             tick.throughput,
+            tick.cpu_steal_cores,
+            tick.membw_bytes,
+            tick.disk_shortfall_bytes,
         )
     return np.array(rows, dtype=np.float64)
 
@@ -149,6 +158,7 @@ def host_baseline(n: int, memory_bytes) -> np.ndarray:
     state[:, _H["mem_used_log"]] = np.log1p(
         0.05 * np.asarray(memory_bytes, dtype=np.float64)
     )
+    state[:, _H["membw_util"]] = 2.0  # OS DRAM background traffic
     return state
 
 
@@ -158,6 +168,7 @@ def host_additive_contributions(
     memory_bytes,
     disk_bandwidth,
     network_bandwidth,
+    memory_bandwidth,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-row host-channel contributions of one container-tick each.
@@ -183,19 +194,38 @@ def host_additive_contributions(
     out[:, _H["page_in"]] = fields[:, F_PAGE_IN_BYTES] / 1024.0
     out[:, _H["net_packets"]] = net_bytes / 1500.0
     out[:, _H["interrupts"]] = net_bytes / 1500.0 + disk_bytes / 65536.0
+    # Interference channels (accumulated in simulation Pass 2/3):
+    # steal is each member's fair-share shortfall, membw the DRAM
+    # traffic it actually moved, disk_aveq the queue its unserved IO
+    # left on the shared device (~8 requests per queued MiB-ish unit).
+    out[:, _H["cpu_steal"]] = 100.0 * fields[:, F_CPU_STEAL] / cores
+    out[:, _H["membw_util"]] = (
+        100.0 * fields[:, F_MEMBW] / memory_bandwidth
+    )
+    out[:, _H["disk_aveq"]] = (
+        8.0 * fields[:, F_DISK_SHORTFALL] / disk_bandwidth
+    )
     return out
 
 
 def host_derived(
     state: np.ndarray, cores, memory_bytes, disk_random_bandwidth
 ) -> np.ndarray:
-    """Fill the derived host channels in place (post-accumulation)."""
+    """Fill the derived host channels in place (post-accumulation).
+
+    ``disk_aveq`` arrives carrying the accumulated *interference* queue
+    (unserved neighbour IO from the contribution pass) and gains the
+    node's own utilization/page-in terms here; ``membw_util`` and
+    ``cpu_steal`` are real accumulated node state (DRAM traffic moved,
+    fair-share shortfall) and are only range-clamped.
+    """
     disk_aveq = np.maximum(
         0.05,
         state[:, _H["disk_util"]] / 100.0 * 4.0
         + state[:, _H["page_in"]]
         / (np.asarray(disk_random_bandwidth, dtype=np.float64) / 1024.0)
-        * 8.0,
+        * 8.0
+        + state[:, _H["disk_aveq"]],
     )
     state[:, _H["disk_aveq"]] = disk_aveq
     state[:, _H["io_wait"]] = np.minimum(95.0, disk_aveq * 2.0)
@@ -205,10 +235,8 @@ def host_derived(
     state[:, _H["mem_used_log"]] = np.log1p(
         state[:, _H["mem_util"]] / 100.0 * memory_bytes + 0.05 * memory_bytes
     )
-    state[:, _H["membw_util"]] = np.minimum(
-        100.0,
-        state[:, _H["cpu_util"]] * 0.3 + state[:, _H["net_util"]] * 0.2,
-    )
+    state[:, _H["membw_util"]] = np.minimum(state[:, _H["membw_util"]], 100.0)
+    state[:, _H["cpu_steal"]] = np.minimum(state[:, _H["cpu_steal"]], 100.0)
     state[:, _H["cpu_util"]] = np.minimum(state[:, _H["cpu_util"]], 100.0)
     state[:, _H["mem_util"]] = np.minimum(state[:, _H["mem_util"]], 100.0)
     return state
