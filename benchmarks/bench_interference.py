@@ -17,7 +17,11 @@ the small solo-trained model on it, recording the transfer contract to
   ``bench_parallel.py`` convention: recall on neighbour-caused
   degradation, recall on self-overload (the training distribution),
   and the false-alarm delta between clean interference seconds and
-  clean solo seconds.
+  clean solo seconds;
+- **before/after the interference mix-in**: the same solo runs
+  retrained with ``build_training_corpus(interference_scenarios=...)``
+  (the drift-triggered retrainer's corpus shape) must close the
+  membw/disk transfer gap the solo model leaves open.
 """
 
 import json
@@ -32,6 +36,7 @@ from repro.datasets.configs import run_by_id
 from repro.datasets.generate import build_training_corpus
 from repro.datasets.interference import (
     CAUSE_NEIGHBOR,
+    INTERFERENCE_SCENARIOS,
     build_interference_corpus,
     transfer_eval,
 )
@@ -106,6 +111,30 @@ def test_interference_transfer(benchmark, small_model, table_printer):
 
     result = transfer_eval(small_model, corpus)
 
+    # Before/after the interference mix-in: retrain the same solo runs
+    # with the neighbour-contention corpus folded into the training set
+    # (``build_training_corpus(interference_scenarios=...)``, the shape
+    # the drift-triggered retrainer uses).  The mix-in is built at a
+    # different seed than the evaluation corpus, so the model sees the
+    # contention *distribution*, not the literal evaluation rows.
+    mixed_corpus = build_training_corpus(
+        duration=80,
+        calibration_duration=CALIBRATION,
+        seed=5,
+        runs=[run_by_id(i) for i in (1, 2, 7, 9, 12, 24)],
+        interference_scenarios=list(INTERFERENCE_SCENARIOS),
+    )
+    mixed_model = MonitorlessModel(
+        classifier_params={"n_estimators": 15}, random_state=SEED
+    )
+    mixed_model.fit(
+        mixed_corpus.X, mixed_corpus.meta, mixed_corpus.y, mixed_corpus.groups
+    )
+    mixed = transfer_eval(mixed_model, corpus)
+
+    per_solo = {row["scenario"]: row for row in result["per_scenario"]}
+    per_mixed = {row["scenario"]: row for row in mixed["per_scenario"]}
+
     table_printer(
         f"Solo->interference transfer, {DURATION}s x "
         f"{len(corpus.runs)} scenarios ({cores} usable cores)",
@@ -119,6 +148,26 @@ def test_interference_transfer(benchmark, small_model, table_printer):
                 "false_alarm_solo",
                 "false_alarm_delta",
             )
+        ]
+        + [
+            {
+                "quantity": "interference_recall (mixed)",
+                "value": mixed["interference_recall"],
+            },
+            {
+                "quantity": "membw recall solo -> mixed",
+                "value": (
+                    per_solo[102]["recall_neighbor"],
+                    per_mixed[102]["recall_neighbor"],
+                ),
+            },
+            {
+                "quantity": "disk recall solo -> mixed",
+                "value": (
+                    per_solo[103]["recall_neighbor"],
+                    per_mixed[103]["recall_neighbor"],
+                ),
+            },
         ],
     )
 
@@ -144,6 +193,17 @@ def test_interference_transfer(benchmark, small_model, table_printer):
             )
         },
         "per_scenario": result["per_scenario"],
+        "mixed_model": {
+            "train_seed": 5,
+            "interference_recall": mixed["interference_recall"],
+            "self_recall": mixed["self_recall"],
+            "false_alarm_solo": mixed["false_alarm_solo"],
+            "recall_membw_before": per_solo[102]["recall_neighbor"],
+            "recall_membw_after": per_mixed[102]["recall_neighbor"],
+            "recall_disk_before": per_solo[103]["recall_neighbor"],
+            "recall_disk_after": per_mixed[103]["recall_neighbor"],
+            "per_scenario": mixed["per_scenario"],
+        },
         "thresholds_enforced": enforce,
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
@@ -159,12 +219,23 @@ def test_interference_transfer(benchmark, small_model, table_printer):
         assert result["interference_recall"] >= 0.15
         assert result["self_recall"] >= 0.25
         assert result["false_alarm_solo"] <= 0.25
+        # The mix-in must close (not merely dent) the membw/disk
+        # transfer gap without giving back self-overload recall.
+        assert (
+            mixed["interference_recall"] >= result["interference_recall"]
+        )
+        assert (
+            per_mixed[102]["recall_neighbor"]
+            >= per_solo[102]["recall_neighbor"]
+        )
+        assert (
+            per_mixed[103]["recall_neighbor"]
+            >= per_solo[103]["recall_neighbor"]
+        )
+        assert mixed["self_recall"] >= 0.25
 
     # Benchmark target: one scenario generated end to end.
-    from repro.datasets.interference import (
-        INTERFERENCE_SCENARIOS,
-        generate_interference_run,
-    )
+    from repro.datasets.interference import generate_interference_run
 
     benchmark.pedantic(
         lambda: generate_interference_run(

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the common workflows:
+Twelve subcommands cover the common workflows:
 
 - ``inventory``  -- print the Table-1 training-run inventory;
 - ``dataset``    -- generate the training corpus (optionally save it);
@@ -22,7 +22,12 @@ Ten subcommands cover the common workflows:
   report tick throughput;
 - ``interference`` -- build the neighbour-caused degradation corpus
   (victims at constant sub-knee load vs co-located antagonists) and run
-  the solo->interference transfer evaluation.
+  the solo->interference transfer evaluation;
+- ``lifecycle`` -- run the seeded end-to-end drift scenario: a
+  stationary TeaStore plateau, a mid-run workload step plus bursty
+  membw antagonist, streaming drift detection, drift-triggered
+  retraining and champion/challenger shadow promotion through the
+  versioned model registry.
 
 The generation/training paths accept ``--jobs N`` (``-1`` = all cores)
 to fan session simulation, tree fitting and grid-search evaluation out
@@ -45,6 +50,8 @@ Examples::
     python -m repro chaos --duration 240 --antagonist cpu
     python -m repro fleet --model model.pkl --cells 32 --ticks 120 --jobs -1
     python -m repro interference --duration 150 --jobs -1 --report out.json
+    python -m repro lifecycle --duration 360 --registry registry/
+    python -m repro lifecycle --resume --checkpoint lc.ckpt --registry registry/
 """
 
 from __future__ import annotations
@@ -273,6 +280,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the transfer-eval result as JSON here")
     interference.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(interference)
+
+    lifecycle = commands.add_parser(
+        "lifecycle",
+        help="run the seeded drift scenario: stationary plateau, mid-run "
+             "workload step + bursty membw antagonist, streaming drift "
+             "detection, drift-triggered retraining and shadow promotion",
+    )
+    lifecycle.add_argument(
+        "--model", default=None,
+        help="optional saved model to serve as the bootstrap champion "
+             "(default: train a small 6-run, 15-tree model first); with "
+             "--resume, the model offered to the checkpoint's "
+             "fingerprint guard")
+    lifecycle.add_argument("--duration", type=int, default=360,
+                           help="scenario ticks (default 360; the "
+                                "shift onset lands at 45%%)")
+    lifecycle.add_argument("--registry", default=None,
+                           help="model-registry directory (default: a "
+                                "temporary directory)")
+    lifecycle.add_argument("--report", default=None,
+                           help="write the DriftScenarioResult as JSON here")
+    lifecycle.add_argument("--checkpoint", default=None,
+                           help="checkpoint path; written every "
+                                "--checkpoint-interval ticks, and the "
+                                "resume source with --resume")
+    lifecycle.add_argument("--checkpoint-interval", type=int, default=50,
+                           help="ticks between checkpoints when "
+                                "--checkpoint is given (default 50)")
+    lifecycle.add_argument("--resume", action="store_true",
+                           help="resume the scenario from --checkpoint "
+                                "instead of starting fresh")
+    lifecycle.add_argument("--allow-model-swap", action="store_true",
+                           help="with --resume and --model: accept a model "
+                                "whose fingerprint differs from the one "
+                                "the checkpoint was saved with")
+    lifecycle.add_argument("--interference", type=int, nargs="*",
+                           default=None,
+                           help="interference scenario ids mixed into "
+                                "retrain corpora (default: stream-only "
+                                "retraining)")
+    lifecycle.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(lifecycle)
+    _add_trace_argument(lifecycle)
     return parser
 
 
@@ -754,6 +804,107 @@ def _cmd_interference(args, out) -> int:
     return 0
 
 
+def _lifecycle_model(args, out):
+    """Load ``--model`` or train the champion the scenario defaults
+    are tuned for (the 6-run stand-in with (1, 5) temporal windows)."""
+    from repro.core.model import MonitorlessModel
+
+    if args.model:
+        return MonitorlessModel.load(args.model)
+    print("No --model given; training a small 6-run model...", file=out)
+    from repro.core.features.pipeline import PipelineConfig
+    from repro.datasets.configs import run_by_id
+    from repro.datasets.generate import build_training_corpus
+
+    runs = [run_by_id(i) for i in (1, 2, 7, 9, 12, 24)]
+    corpus = build_training_corpus(
+        duration=80, calibration_duration=100, seed=3, runs=runs
+    )
+    model = MonitorlessModel(
+        pipeline_config=PipelineConfig(temporal_windows=(1, 5)),
+        classifier_params={"n_estimators": 15},
+        random_state=0,
+    )
+    model.fit(corpus.X, corpus.meta, corpus.y, corpus.groups)
+    return model
+
+
+def _cmd_lifecycle(args, out) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from repro.lifecycle import DriftScenarioConfig, DriftScenarioRunner
+
+    config = DriftScenarioConfig(
+        duration=args.duration,
+        seed=args.seed,
+        interference_scenario_ids=tuple(args.interference or ()),
+        n_jobs=args.jobs,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.resume:
+            if not args.checkpoint:
+                print("--resume needs --checkpoint.", file=out)
+                return 2
+            model = None
+            if args.model:
+                from repro.core.model import MonitorlessModel
+
+                model = MonitorlessModel.load(args.model)
+            runner = DriftScenarioRunner.resume(
+                args.checkpoint,
+                config,
+                model=model,
+                allow_model_swap=args.allow_model_swap,
+            )
+            print(f"Resumed from tick {runner.t}.", file=out)
+        else:
+            model = _lifecycle_model(args, out)
+            registry_dir = args.registry
+            if registry_dir is None:
+                registry_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory()
+                )
+            runner = DriftScenarioRunner(model, registry_dir, config)
+        print(
+            f"Driving the drift scenario for {config.duration} ticks "
+            f"(onset at {config.onset_tick})...",
+            file=out,
+        )
+        runner.run_until(
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=(
+                args.checkpoint_interval if args.checkpoint else 0
+            ),
+        )
+        result = runner.finish()
+    for entry in result.history:
+        version = f" v{entry['version']}" if entry["version"] else ""
+        print(
+            f"  t={entry['tick']:>4}  {entry['event']:<16}{version}  "
+            f"{entry['reason']}",
+            file=out,
+        )
+    print(
+        f"onset={result.onset_tick}  detection={result.detection_tick}  "
+        f"retrain={result.retrain_tick}  promotion={result.promotion_tick}  "
+        f"champion=v{result.champion_version}",
+        file=out,
+    )
+    print(
+        f"{result.violations} SLO violation-ticks, "
+        f"{result.scale_outs} scale-outs",
+        file=out,
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"Report written to {args.report}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "inventory": _cmd_inventory,
     "dataset": _cmd_dataset,
@@ -766,6 +917,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
     "interference": _cmd_interference,
+    "lifecycle": _cmd_lifecycle,
 }
 
 

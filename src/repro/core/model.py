@@ -203,6 +203,57 @@ class MonitorlessModel:
         self.n_engineered_features_ = X_features.shape[1]
         return self
 
+    def refit_classifier(
+        self,
+        features: np.ndarray,
+        y: np.ndarray,
+        *,
+        classifier_params: dict[str, Any] | None = None,
+        random_state=None,
+    ) -> "MonitorlessModel":
+        """A new model sharing this fitted pipeline, classifier refit.
+
+        The model-lifecycle retrain path: ``features`` are already
+        *engineered* rows (pipeline output -- buffered serving batches
+        and/or :meth:`transform`-ed corpora).  The feature pipeline is
+        frozen within a lineage so a retrained challenger scores the
+        exact batch the champion scores during shadow serving, and a
+        promotion never invalidates per-container pipeline streams.
+
+        The returned model aliases ``pipeline_`` (read-only by
+        convention) and owns a freshly fitted classifier.
+        """
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.int64)
+        if features.ndim != 2 or features.shape[1] != self.n_engineered_features_:
+            raise ValueError(
+                f"refit_classifier expects engineered rows with "
+                f"{self.n_engineered_features_} features; got "
+                f"{features.shape}."
+            )
+        clone = MonitorlessModel(
+            pipeline_config=self.pipeline_config,
+            classifier=self.classifier_name,
+            prediction_threshold=self.prediction_threshold,
+            random_state=(
+                self.random_state if random_state is None else random_state
+            ),
+            classifier_params={
+                **self.classifier_params,
+                **(classifier_params or {}),
+            },
+        )
+        clone.pipeline_ = self.pipeline_
+        clone.classifier_ = make_classifier(
+            clone.classifier_name,
+            random_state=clone.random_state,
+            **clone.classifier_params,
+        )
+        clone.classifier_.fit(features, y)
+        clone.n_engineered_features_ = features.shape[1]
+        return clone
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------

@@ -312,6 +312,7 @@ def build_training_corpus(
     calibration_duration: int = 300,
     seed: int = 0,
     runs: list[RunConfig] | None = None,
+    interference_scenarios: list | None = None,
     catalog: MetricCatalog | None = None,
     n_jobs: int | None = None,
 ) -> TrainingCorpus:
@@ -321,6 +322,13 @@ def build_training_corpus(
     session draws only from RNGs keyed by the corpus seed (workload
     noise, KPI noise, metric synthesis), so the corpus is bitwise
     identical at every ``n_jobs``.
+
+    ``interference_scenarios`` opt-in mixes neighbour-contention
+    samples (see :mod:`repro.datasets.interference`) into the corpus:
+    each scenario's victim rows join ``X``/``y`` with the *scenario id*
+    as their CV group (ids 101+ never collide with Table-1 run ids).
+    ``runs=[]`` with scenarios builds a pure-interference corpus -- the
+    shape the drift-triggered retrainer uses.
     """
     catalog = catalog or default_catalog()
     tasks = [
@@ -332,11 +340,36 @@ def build_training_corpus(
         _generate_session_task, tasks, n_jobs=n_jobs, chunk_size=1
     ):
         all_runs.extend(labeled)
-    X = np.vstack([run.X for run in all_runs])
-    y = np.concatenate([run.y for run in all_runs])
-    groups = np.concatenate(
-        [np.full(run.y.size, run.config.run_id) for run in all_runs]
-    )
+    parts_X = [run.X for run in all_runs]
+    parts_y = [run.y for run in all_runs]
+    parts_groups = [
+        np.full(run.y.size, run.config.run_id) for run in all_runs
+    ]
+    if interference_scenarios:
+        # Imported lazily: interference.py itself imports the
+        # calibration machinery from this module.
+        from repro.datasets.interference import build_interference_corpus
+
+        contention = build_interference_corpus(
+            duration=duration,
+            calibration_duration=calibration_duration,
+            seed=seed,
+            scenarios=list(interference_scenarios),
+            catalog=catalog,
+            n_jobs=n_jobs,
+        )
+        parts_X.append(contention.X)
+        parts_y.append(contention.y)
+        parts_groups.append(contention.groups)
+    if not parts_X:
+        raise ValueError(
+            "build_training_corpus needs at least one run or "
+            "interference scenario."
+        )
     return TrainingCorpus(
-        X=X, y=y, groups=groups, meta=catalog.feature_meta(), runs=all_runs
+        X=np.vstack(parts_X),
+        y=np.concatenate(parts_y),
+        groups=np.concatenate(parts_groups),
+        meta=catalog.feature_meta(),
+        runs=all_runs,
     )

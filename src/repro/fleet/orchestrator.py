@@ -301,6 +301,21 @@ class FleetShardRunner:
             cell.autoscaler.act(cell_saturated, self._t)
             self._extra[index].append(cell.autoscaler.extra_replicas)
         self.decisions.append(tuple(sorted(saturated)))
+        lifecycle = self.policy.lifecycle
+        if lifecycle is not None:
+            violated = False
+            for cell in self.cells:
+                kpis = cell.simulation._kpis[cell.application]
+                if kpis["response_time"] and slo_violations(
+                    np.asarray(kpis["response_time"][-1:]),
+                    np.asarray(kpis["dropped"][-1:]),
+                    np.asarray(kpis["offered"][-1:]),
+                    self.slo,
+                ).any():
+                    violated = True
+                    break
+            lifecycle.outcome(self._t, violated)
+            lifecycle.step(self._t)
         self._t += 1
 
     def finish(self) -> FleetShardResult:

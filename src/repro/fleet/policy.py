@@ -77,6 +77,7 @@ class FleetPolicy:
         staleness_budget: int | None = None,
         failsafe: str = "hold",
         recovery_ticks: int = 3,
+        lifecycle=None,
     ):
         if failsafe not in ("hold", "scale-up"):
             raise ValueError('failsafe must be "hold" or "scale-up".')
@@ -89,6 +90,11 @@ class FleetPolicy:
         self.staleness_budget = staleness_budget
         self.failsafe = failsafe
         self.recovery_ticks = recovery_ticks
+        #: Optional :class:`~repro.lifecycle.manager.LifecycleManager`;
+        #: when attached the fleet follows its champion and reports
+        #: every classified batch (the challenger shadow-scores the
+        #: identical feature rows but never flips a verdict).
+        self.lifecycle = lifecycle
         self.index = FleetIndex()
         self._cells: dict[str, _Cell] = {}
         if catalog is None:
@@ -112,10 +118,13 @@ class FleetPolicy:
         self.failsafe_entries = 0
         self.failsafe_ticks = 0
         self.classifier_errors = 0
+        self.last_classifier_error: str | None = None
         #: Cumulative wall-clock seconds per serving phase (simulation
         #: stepping -- filled by the shard runner -- telemetry
         #: synthesis, feature-pipeline pushes, classifier prediction,
-        #: and the remaining policy bookkeeping).
+        #: and the remaining policy bookkeeping).  A ``shadow`` phase
+        #: appears only when a lifecycle manager is attached, so
+        #: lifecycle-free runs keep the exact historical shape.
         self.phase_seconds = {
             "simulate": 0.0,
             "telemetry": 0.0,
@@ -123,6 +132,8 @@ class FleetPolicy:
             "predict": 0.0,
             "policy": 0.0,
         }
+        if lifecycle is not None:
+            self.phase_seconds["shadow"] = 0.0
 
     # ------------------------------------------------------------------
     # Cells and membership
@@ -245,7 +256,15 @@ class FleetPolicy:
         """Saturated ``(namespace, deployment)`` keys at tick ``t``."""
         with obs.trace("policy.fleet"):
             tick_started = time.perf_counter()
-            telemetry_s = features_s = predict_s = 0.0
+            telemetry_s = features_s = predict_s = shadow_s = 0.0
+            if (
+                self.lifecycle is not None
+                and self.lifecycle.champion is not self.model
+            ):
+                # A promotion happened since the last tick; the pipeline
+                # is frozen within a lineage, so the fleet feature
+                # matrix stays valid.
+                self.model = self.lifecycle.champion
             self.sync()
             telemetry = self.telemetry
             telemetry.begin_tick()
@@ -310,15 +329,29 @@ class FleetPolicy:
                 started = time.perf_counter()
                 try:
                     flags = self._classify(primary_rows)
-                except Exception:
+                except Exception as error:
                     # The classifier itself failed: every primary
                     # candidate falls through to the secondary.
                     self.classifier_errors += 1
+                    self.last_classifier_error = type(error).__name__
                     obs.inc("fleet.classifier_errors")
+                    obs.inc(
+                        "fleet.classifier_error"
+                        f"{{type={type(error).__name__}}}"
+                    )
                     demoted.extend(int(row) for row in primary_rows)
                 else:
                     self._record_primary(primary_rows)
                 predict_s += time.perf_counter() - started
+                if flags is not None and self.lifecycle is not None:
+                    started = time.perf_counter()
+                    self.lifecycle.observe(
+                        t,
+                        self.features.features[primary_rows],
+                        flags,
+                        telemetry.completeness[primary_rows],
+                    )
+                    shadow_s += time.perf_counter() - started
             if flags is not None:
                 member_at = self.index.member_at
                 for row, flag in zip(primary_rows, flags):
@@ -355,9 +388,11 @@ class FleetPolicy:
             phase["telemetry"] += telemetry_s
             phase["features"] += features_s
             phase["predict"] += predict_s
+            if self.lifecycle is not None:
+                phase["shadow"] += shadow_s
             phase["policy"] += (
                 time.perf_counter() - tick_started
-                - telemetry_s - features_s - predict_s
+                - telemetry_s - features_s - predict_s - shadow_s
             )
         return saturated
 

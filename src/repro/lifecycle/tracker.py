@@ -1,0 +1,89 @@
+"""Prediction-vs-outcome agreement over ground-truth-delayed windows.
+
+Saturation ground truth (did the application actually violate its SLO
+around tick ``t``?) only becomes known ``label_delay`` ticks after the
+prediction was served.  :class:`ModelPerformanceTracker` buffers each
+tick's verdict, accepts the outcome when the driver learns it, and
+maintains rolling agreement over the last ``window`` resolved ticks --
+the model-health signal that catches a *silently stale* model even
+when the feature distribution looks unremarkable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro import obs
+
+__all__ = ["ModelPerformanceTracker"]
+
+
+class ModelPerformanceTracker:
+    """Rolling agreement between served verdicts and delayed outcomes."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 120,
+        min_agreement: float = 0.7,
+        min_resolved: int = 20,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1.")
+        if not 0.0 <= min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in [0, 1].")
+        self.window = window
+        self.min_agreement = min_agreement
+        self.min_resolved = min_resolved
+        self._pending: dict[int, bool] = {}
+        self._resolved: deque[bool] = deque(maxlen=window)
+        self.resolved_total = 0
+
+    def record(self, t: int, predicted: bool) -> None:
+        """Buffer the verdict served at tick ``t``."""
+        self._pending[t] = bool(predicted)
+
+    def resolve(self, t: int, outcome: bool) -> bool | None:
+        """Settle tick ``t`` against its ground-truth outcome.
+
+        Returns whether the prediction agreed, or ``None`` when no
+        verdict was recorded for that tick (e.g. the policy had no
+        feature rows yet).
+        """
+        predicted = self._pending.pop(t, None)
+        if predicted is None:
+            return None
+        agreed = predicted == bool(outcome)
+        self._resolved.append(agreed)
+        self.resolved_total += 1
+        if obs.enabled():
+            agreement = self.agreement()
+            if agreement is not None:
+                obs.set_gauge("lifecycle.agreement", agreement)
+        return agreed
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def agreement(self) -> float | None:
+        """Mean agreement over the rolling window; ``None`` while the
+        window holds fewer than ``min_resolved`` settled ticks."""
+        if len(self._resolved) < self.min_resolved:
+            return None
+        return sum(self._resolved) / len(self._resolved)
+
+    def healthy(self) -> bool:
+        """False once rolling agreement drops below ``min_agreement``.
+
+        Insufficient evidence (fewer than ``min_resolved`` resolved
+        ticks) counts as healthy -- an empty window is not a failing
+        model.
+        """
+        agreement = self.agreement()
+        return agreement is None or agreement >= self.min_agreement
+
+    def reset(self) -> None:
+        """Forget everything (a new champion starts with a clean slate)."""
+        self._pending.clear()
+        self._resolved.clear()

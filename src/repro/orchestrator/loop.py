@@ -211,16 +211,49 @@ class Orchestrator:
         return save_checkpoint(self, path)
 
     @staticmethod
-    def resume_from(path) -> "Orchestrator":
+    def resume_from(
+        path, model=None, allow_model_swap: bool = False
+    ) -> "Orchestrator":
         """Reload an orchestrator checkpointed by :meth:`save_checkpoint`.
 
         The returned instance continues exactly where the saved one
         stopped: call :meth:`tick` with the remaining arrivals and
         :meth:`finish` as usual.
-        """
-        from repro.reliability.checkpoint import load_checkpoint
 
-        return load_checkpoint(path)
+        Passing ``model`` asks to resume *serving with that model*.
+        The checkpoint header stores the fingerprint of the model the
+        run was saved with; resuming with a different one silently
+        changes every remaining verdict (and corrupts per-container
+        pipeline streams if the feature pipeline differs), so a
+        mismatch raises :class:`CheckpointError` unless
+        ``allow_model_swap=True`` explicitly accepts the swap.
+        """
+        from repro.reliability.checkpoint import (
+            CheckpointError,
+            load_checkpoint,
+            model_fingerprint,
+            read_header,
+        )
+
+        if model is None:
+            return load_checkpoint(path)
+        header = read_header(path)
+        stored = header.get("model_fingerprint")
+        offered = model_fingerprint(model)
+        if stored is not None and offered != stored and not allow_model_swap:
+            raise CheckpointError(
+                f"{path} was checkpointed with model {stored[:12]}... but "
+                f"resume was offered model {offered[:12]}...; refusing to "
+                "swap the serving model mid-run (pass "
+                "allow_model_swap=True / --allow-model-swap to override)."
+            )
+        orchestrator = load_checkpoint(path)
+        target = orchestrator.policy
+        if not hasattr(target, "model") and hasattr(target, "primary"):
+            target = target.primary
+        if hasattr(target, "model"):
+            target.model = model
+        return orchestrator
 
     def run(self, workloads: dict[str, np.ndarray]) -> OrchestratorResult:
         """Run the full trace; returns provisioning and SLO accounting.

@@ -48,12 +48,13 @@ class NoScalingPolicy:
 class _ContainerStream:
     """One container's live data path: telemetry stream + pipeline stream."""
 
-    __slots__ = ("telemetry", "features", "last_features")
+    __slots__ = ("telemetry", "features", "last_features", "last_complete")
 
     def __init__(self, telemetry, features):
         self.telemetry = telemetry
         self.features = features
         self.last_features: np.ndarray | None = None
+        self.last_complete: float = 1.0
 
     def catch_up(self, end: int) -> np.ndarray | None:
         """Consume every unseen tick up to ``end``; O(new ticks).
@@ -66,8 +67,9 @@ class _ContainerStream:
         telemetry = self.telemetry
         while telemetry.clock < end:
             row = telemetry.emit()
+            self.last_complete = telemetry.tail.last_completeness()
             self.last_features = self.features.push(
-                row, imputed=telemetry.tail.last_completeness() < 1.0
+                row, imputed=self.last_complete < 1.0
             )
         return self.last_features
 
@@ -104,6 +106,14 @@ class MonitorlessPolicy:
         for inspection but does not recompute from it.
     streaming:
         Select the incremental data path.
+    lifecycle:
+        Optional :class:`~repro.lifecycle.manager.LifecycleManager`.
+        When attached, the policy follows its champion (promotions swap
+        the serving model between ticks) and reports every classified
+        batch to it; the manager's challenger shadow-scores the same
+        batch but never influences the returned verdicts.  ``None``
+        (default) leaves the serving path byte-identical to a
+        lifecycle-free policy.
     """
 
     name = "monitorless"
@@ -114,6 +124,7 @@ class MonitorlessPolicy:
         agent: TelemetryAgent,
         window: int = 16,
         streaming: bool = False,
+        lifecycle=None,
     ):
         if window < 1:
             raise ValueError("window must be >= 1.")
@@ -121,14 +132,26 @@ class MonitorlessPolicy:
         self.agent = agent
         self.window = window
         self.streaming = streaming
+        self.lifecycle = lifecycle
         self.meta = agent.catalog.feature_meta()
         self._streams: dict[str, _ContainerStream] = {}
 
     def _classify(
-        self, services: list[str], current_rows: list[np.ndarray]
+        self,
+        services: list[str],
+        current_rows: list[np.ndarray],
+        t: int | None = None,
+        completeness=None,
     ) -> set[str]:
         if not current_rows:
             return set()
+        if (
+            self.lifecycle is not None
+            and self.lifecycle.champion is not self.model
+        ):
+            # A promotion happened since the last tick; the pipeline is
+            # frozen within a lineage, so live streams stay valid.
+            self.model = self.lifecycle.champion
         with obs.trace("policy.classify"):
             batch = np.vstack(current_rows)
             classifier = self.model.classifier_
@@ -139,6 +162,8 @@ class MonitorlessPolicy:
                 flags = positive >= self.model.prediction_threshold
             else:
                 flags = np.asarray(classifier.predict(batch)) == 1
+        if self.lifecycle is not None and t is not None:
+            self.lifecycle.observe(t, batch, flags, completeness)
         saturated = {
             service for service, flag in zip(services, flags) if flag
         }
@@ -166,6 +191,7 @@ class MonitorlessPolicy:
         services: list[str] = []
         current_rows: list[np.ndarray] = []
         if self.streaming:
+            completeness: list[float] = []
             live: set[str] = set()
             for service, replicas in deployment.instances.items():
                 for instance in replicas:
@@ -174,19 +200,21 @@ class MonitorlessPolicy:
                     end = container.created_at + len(container.history)
                     if end <= container.created_at:
                         continue  # no samples yet
-                    features = self._stream_for(container, simulation).catch_up(
-                        end
-                    )
+                    stream = self._stream_for(container, simulation)
+                    features = stream.catch_up(end)
                     if features is not None:
                         services.append(service)
                         current_rows.append(features)
+                        completeness.append(stream.last_complete)
             # Retired replicas (scale-in) never come back; drop their
             # state.  Membership rarely changes, so skip the sweep
             # entirely unless some stream key is no longer live.
             if not self._streams.keys() <= live:
                 for name in [n for n in self._streams if n not in live]:
                     del self._streams[name]
-            return self._classify(services, current_rows)
+            return self._classify(
+                services, current_rows, t=t, completeness=completeness
+            )
 
         for service, replicas in deployment.instances.items():
             for instance in replicas:
@@ -201,7 +229,7 @@ class MonitorlessPolicy:
                 features = self.model.transform(window_matrix, self.meta)
                 services.append(service)
                 current_rows.append(features[-1])
-        return self._classify(services, current_rows)
+        return self._classify(services, current_rows, t=t)
 
 
 class ThresholdPolicy:

@@ -23,7 +23,9 @@ failsafe -> recovering -> healthy``; ``recovering`` requires
 ``recovery_ticks`` consecutive primary successes before the container
 counts as healthy again.  Transitions are exported as ``obs`` counters
 (``fallback.demotions`` / ``fallback.recoveries`` /
-``fallback.failsafe_entries``) and per-state gauges, and mirrored on
+``fallback.failsafe_entries``; classifier failures additionally emit
+``fallback.classifier_error{type=<ExceptionClass>}``) and per-state
+gauges, and mirrored on
 the policy object (:attr:`demotions`, :attr:`recoveries`,
 :attr:`failsafe_entries`, :attr:`health`) for obs-disabled callers.
 """
@@ -106,6 +108,7 @@ class FallbackPolicy:
         self.recoveries = 0
         self.failsafe_entries = 0
         self.failsafe_ticks = 0
+        self.last_classifier_error: str | None = None
         self._streak: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -184,7 +187,9 @@ class FallbackPolicy:
                     ):
                         demoted.append((service, container))
                         continue
-                    primary_items.append((service, container, features))
+                    primary_items.append(
+                        (service, container, features, stream.last_complete)
+                    )
 
             # Retired replicas (scale-in) never come back; drop state.
             # Membership rarely changes, so skip the sweeps unless some
@@ -201,20 +206,29 @@ class FallbackPolicy:
 
             try:
                 saturated = self.primary._classify(
-                    [service for service, _, _ in primary_items],
-                    [features for _, _, features in primary_items],
+                    [service for service, _, _, _ in primary_items],
+                    [features for _, _, features, _ in primary_items],
+                    t=t,
+                    completeness=[
+                        complete for _, _, _, complete in primary_items
+                    ],
                 )
-            except Exception:
+            except Exception as error:
                 # The classifier itself failed: every primary candidate
                 # falls through to the secondary this tick.
+                self.last_classifier_error = type(error).__name__
                 obs.inc("fallback.classifier_errors")
+                obs.inc(
+                    "fallback.classifier_error"
+                    f"{{type={type(error).__name__}}}"
+                )
                 saturated = set()
                 demoted.extend(
                     (service, container)
-                    for service, container, _ in primary_items
+                    for service, container, _, _ in primary_items
                 )
             else:
-                for service, container, _ in primary_items:
+                for service, container, _, _ in primary_items:
                     self._record_outcome(container.name, "primary")
 
             for service, container in demoted:
